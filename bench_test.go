@@ -1,0 +1,493 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one family per
+// Table 1 row plus theorem-level constants and design ablations. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times are machine-dependent; the quantities to compare are the
+// reported custom metrics (normalized work, depth) and the relative times
+// of the sequential, parallel and baseline variants.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/bstsort"
+	"repro/internal/closestpair"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/hashtable"
+	"repro/internal/lelists"
+	"repro/internal/lp"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/scc"
+	"repro/internal/seb"
+	"repro/internal/sortutil"
+)
+
+var benchSizes = []int{1 << 12, 1 << 14}
+
+func randKeys(seed uint64, n int) []float64 {
+	r := rng.New(seed)
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = r.Float64()
+	}
+	return keys
+}
+
+// --- Table 1 row: comparison sorting -----------------------------------
+
+func BenchmarkTable1SortSeq(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			keys := randKeys(uint64(n), n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := bstsort.SeqInsert(keys)
+				if i == 0 {
+					b.ReportMetric(float64(st.Comparisons)/(float64(n)*math.Log(float64(n))), "cmp/nlnn")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SortPar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			keys := randKeys(uint64(n), n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := bstsort.ParInsert(keys)
+				if i == 0 {
+					b.ReportMetric(float64(st.Rounds), "depth")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SortPrefix(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			keys := randKeys(uint64(n), n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bstsort.ParInsertPrefix(keys)
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SortBaselineSampleSort(b *testing.B) {
+	// The repository's parallel merge sort as the non-incremental baseline.
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			keys := randKeys(uint64(n), n)
+			buf := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, keys)
+				sortutil.Sort(buf, func(a, c float64) bool { return a < c })
+			}
+		})
+	}
+}
+
+// --- Table 1 row: Delaunay triangulation -------------------------------
+
+func BenchmarkTable1DelaunaySeq(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.Dedup(geom.UniformSquare(rng.New(uint64(n)), n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := delaunay.Triangulate(pts)
+				if i == 0 {
+					b.ReportMetric(float64(m.Stats.InCircleTests)/(float64(n)*math.Log(float64(n))), "IC/nlnn")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1DelaunayPar(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.Dedup(geom.UniformSquare(rng.New(uint64(n)), n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := delaunay.ParTriangulate(pts)
+				if i == 0 {
+					b.ReportMetric(float64(m.Stats.DepDepth), "depth")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1DelaunayBaselineGKS(b *testing.B) {
+	// The Guibas–Knuth–Sharir history-DAG algorithm: the standard
+	// sequential incremental DT the paper contrasts with BT.
+	for _, n := range []int{1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.Dedup(geom.UniformSquare(rng.New(uint64(n)), n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := delaunay.GKSTriangulate(pts)
+				if i == 0 {
+					b.ReportMetric(float64(st.InCircleTests)/(float64(n)*math.Log(float64(n))), "IC/nlnn")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkThm45InCircle reports the Theorem 4.5 constant as a metric: the
+// average of InCircle/(n ln n) must stay below 24.
+func BenchmarkThm45InCircle(b *testing.B) {
+	n := 1 << 12
+	r := rng.New(7)
+	var sum float64
+	var count int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := geom.Dedup(geom.UniformSquare(r.Split(), n))
+		m := delaunay.Triangulate(pts)
+		sum += float64(m.Stats.InCircleTests) / (float64(n) * math.Log(float64(n)))
+		count++
+	}
+	b.ReportMetric(sum/float64(count), "IC/nlnn")
+	b.ReportMetric(24, "bound")
+}
+
+// --- Table 1 row: 2D linear programming --------------------------------
+
+func BenchmarkTable1LPSeq(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(uint64(n))
+			cons := lp.TangentConstraints(r, n)
+			cx, cy := lp.RandomObjective(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := lp.Solve(cons, cx, cy)
+				if i == 0 {
+					b.ReportMetric(float64(st.SideTests+st.OneDimWork)/float64(n), "work/n")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1LPPar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(uint64(n))
+			cons := lp.TangentConstraints(r, n)
+			cx, cy := lp.RandomObjective(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lp.ParSolve(cons, cx, cy)
+			}
+		})
+	}
+}
+
+// --- Table 1 row: 2D closest pair ---------------------------------------
+
+func BenchmarkTable1ClosestPairSeq(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.Dedup(geom.UniformSquare(rng.New(uint64(n)), n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := closestpair.Incremental(pts)
+				if i == 0 {
+					b.ReportMetric(float64(st.DistChecks+st.CellProbes)/float64(n), "work/n")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1ClosestPairPar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.Dedup(geom.UniformSquare(rng.New(uint64(n)), n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				closestpair.ParIncremental(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkTable1ClosestPairBaselineDC(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.Dedup(geom.UniformSquare(rng.New(uint64(n)), n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				closestpair.DivideAndConquer(pts)
+			}
+		})
+	}
+}
+
+// --- Table 1 row: smallest enclosing disk -------------------------------
+
+func BenchmarkTable1SEBSeq(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.UniformDisk(rng.New(uint64(n)), n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := seb.Incremental(pts)
+				if i == 0 {
+					b.ReportMetric(float64(st.InDiskTests)/float64(n), "tests/n")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SEBPar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.UniformDisk(rng.New(uint64(n)), n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seb.ParIncremental(pts)
+			}
+		})
+	}
+}
+
+// --- Table 1 row: LE-lists ----------------------------------------------
+
+func BenchmarkTable1LEListsSeq(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GnmUndirected(rng.New(uint64(n)), n, 4*n, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := lelists.Sequential(g)
+				if i == 0 {
+					b.ReportMetric(float64(st.SearchWork)/(float64(g.M())*math.Log(float64(n))), "work/mlnn")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1LEListsPar(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GnmUndirected(rng.New(uint64(n)), n, 4*n, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lelists.Parallel(g)
+			}
+		})
+	}
+}
+
+// --- Table 1 row: SCC ----------------------------------------------------
+
+func BenchmarkTable1SCCBaselineTarjan(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GnmDirected(rng.New(uint64(n)), n, 4*n, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scc.Tarjan(g)
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SCCSeq(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GnmDirected(rng.New(uint64(n)), n, 4*n, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := scc.Sequential(g)
+				if i == 0 {
+					b.ReportMetric(float64(st.ReachWork)/(float64(g.M())*math.Log(float64(n))), "work/mlnn")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SCCPar(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.GnmDirected(rng.New(uint64(n)), n, 4*n, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := scc.Parallel(g)
+				if i == 0 {
+					b.ReportMetric(float64(st.Rounds), "rounds")
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) -----------------
+
+// BenchmarkAblationGrain sweeps the parallel-for grain: too small pays
+// scheduling overhead, too large loses load balance.
+func BenchmarkAblationGrain(b *testing.B) {
+	n := 1 << 20
+	xs := make([]float64, n)
+	for _, grain := range []int{64, 512, 4096, 65536} {
+		b.Run(fmt.Sprintf("grain=%d", grain), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parallel.ForGrain(0, n, grain, func(j int) {
+					xs[j] = float64(j) * 1.0000001
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationShards sweeps the concurrent hash map shard count under
+// a write-heavy mixed workload.
+func BenchmarkAblationShards(b *testing.B) {
+	const ops = 1 << 16
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := hashtable.New[int, int](shards, ops, func(k int) uint64 {
+					return hashtable.Mix64(uint64(k))
+				})
+				parallel.For(0, ops, func(j int) {
+					m.Update(j%1024, func(old int, _ bool) int { return old + 1 })
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredicates compares the float fast path against the
+// exact fallback rate on benign vs adversarial (near-cocircular) inputs.
+func BenchmarkAblationPredicates(b *testing.B) {
+	r := rng.New(11)
+	benign := geom.UniformSquare(r, 4096)
+	adversarial := geom.OnCircle(r, 4096, 1e-12)
+	run := func(b *testing.B, pts []geom.Point) {
+		var st geom.PredicateStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j+3 < len(pts); j += 4 {
+				geom.InCircleStats(pts[j], pts[j+1], pts[j+2], pts[j+3], &st)
+			}
+		}
+		if st.InCircleCalls > 0 {
+			b.ReportMetric(float64(st.InCircleExact)/float64(st.InCircleCalls), "exact-rate")
+		}
+	}
+	b.Run("benign", func(b *testing.B) { run(b, benign) })
+	b.Run("cocircular", func(b *testing.B) { run(b, adversarial) })
+}
+
+// BenchmarkAblationSCCCombine quantifies the price of the eager round
+// schedule: parallel reach work divided by sequential reach work (the
+// paper: a constant factor in expectation).
+func BenchmarkAblationSCCCombine(b *testing.B) {
+	n := 1 << 12
+	g := graph.GnmDirected(rng.New(3), n, 4*n, false)
+	_, seqSt := scc.Sequential(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, parSt := scc.Parallel(g)
+		if i == 0 {
+			b.ReportMetric(float64(parSt.ReachWork)/float64(seqSt.ReachWork), "work-ratio")
+		}
+	}
+}
+
+// BenchmarkAblationSemisort compares the sharded semisort against a
+// comparison sort for the group-by step of the Type 3 combines.
+func BenchmarkAblationSemisort(b *testing.B) {
+	n := 1 << 18
+	r := rng.New(13)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(r.Intn(n / 8))
+	}
+	b.Run("semisort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sortutil.Semisort(n, func(j int) uint64 { return keys[j] })
+		}
+	})
+	b.Run("comparison-sort", func(b *testing.B) {
+		idx := make([]int, n)
+		for i := 0; i < b.N; i++ {
+			for j := range idx {
+				idx[j] = j
+			}
+			sortutil.Sort(idx, func(a, c int) bool { return keys[a] < keys[c] })
+		}
+	})
+}
+
+// BenchmarkHighDim exercises the d-dimensional extensions (Section 5's
+// closing remarks): LP, closest pair, and smallest enclosing ball in R^3.
+func BenchmarkHighDim(b *testing.B) {
+	n := 1 << 12
+	r := rng.New(19)
+	b.Run("lp-d3", func(b *testing.B) {
+		cons := lp.SphereTangentD(r, func() float64 { return 0.1 * r.Float64() }, n, 3)
+		obj := []float64{0.3, -0.5, 0.81}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lp.SolveD(cons, obj)
+		}
+	})
+	b.Run("closestpair-d3", func(b *testing.B) {
+		pts := make([]closestpair.PointD, n)
+		for i := range pts {
+			pts[i] = closestpair.PointD{r.Float64(), r.Float64(), r.Float64()}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			closestpair.IncrementalD(pts)
+		}
+	})
+	b.Run("seb-d3", func(b *testing.B) {
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seb.IncrementalD(pts)
+		}
+	})
+}
+
+// BenchmarkShuffle compares the sequential and parallel random
+// permutations (the framework's precursor algorithm).
+func BenchmarkShuffle(b *testing.B) {
+	n := 1 << 18
+	h := rng.SwapTargets(rng.New(17), n)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng.SeqShuffleWithTargets(h)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng.ParShuffleWithTargets(h)
+		}
+	})
+}

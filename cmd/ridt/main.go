@@ -1,0 +1,151 @@
+// Command ridt (Randomized Incremental, Depth and Totals) regenerates the
+// evaluation artifacts of "Parallelism in Randomized Incremental
+// Algorithms" (Blelloch, Gu, Shun, Sun; SPAA 2016): every row of Table 1
+// and the quantitative theorem-level claims. See EXPERIMENTS.md for the
+// mapping from paper claims to subcommands.
+//
+// Usage:
+//
+//	ridt table1 [-row sort|dt|lp|cp|seb|lelists|scc] [-seed N] [-max N]
+//	ridt incircle  [-seed N] [-trials N]      Theorem 4.5 constant
+//	ridt depth     [-alg sort|dt] [-n N] [-trials N]   Theorem 2.1 / 4.3
+//	ridt special   [-seed N] [-trials N]      Theorem 2.2 (Type 2)
+//	ridt deps      [-seed N] [-trials N]      Corollary 2.4 / Theorem 2.6
+//	ridt sccsweep  [-seed N] [-n N]           SCC workload robustness
+//	ridt shuffle   [-seed N]                  parallel shuffle depth
+//	ridt all                                  everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+)
+
+func sizesUpTo(max int, start int) []int {
+	var out []int
+	for n := start; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "random seed (all experiments are deterministic given the seed)")
+	row := fs.String("row", "", "table1 only: a single row (sort|dt|lp|cp|seb|lelists|scc)")
+	alg := fs.String("alg", "sort", "depth only: algorithm (sort|dt)")
+	n := fs.Int("n", 4096, "input size for single-size experiments")
+	maxN := fs.Int("max", 1<<17, "largest n for scaling sweeps")
+	trials := fs.Int("trials", 10, "trials per configuration")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	fmt.Printf("ridt: GOMAXPROCS=%d seed=%d\n\n", runtime.GOMAXPROCS(0), *seed)
+
+	print := func(t *experiments.Table) {
+		fmt.Println(t.String())
+	}
+
+	var table1 func(which string)
+	table1 = func(which string) {
+		geomSizes := sizesUpTo(*maxN, 1024)
+		dtSizes := sizesUpTo(min(*maxN, 1<<15), 512)
+		graphSizes := sizesUpTo(min(*maxN, 1<<14), 512)
+		switch which {
+		case "sort":
+			print(experiments.SortScaling(*seed, geomSizes))
+		case "dt":
+			print(experiments.DelaunayScaling(*seed, dtSizes))
+		case "lp":
+			print(experiments.LPScaling(*seed, geomSizes))
+		case "cp":
+			print(experiments.ClosestPairScaling(*seed, geomSizes))
+		case "seb":
+			print(experiments.SEBScaling(*seed, geomSizes))
+		case "lelists":
+			print(experiments.LEListsScaling(*seed, graphSizes, 8, true))
+			print(experiments.LEListsScaling(*seed+1, graphSizes, 8, false))
+		case "scc":
+			print(experiments.SCCScaling(*seed, graphSizes, 4))
+		case "":
+			for _, w := range []string{"sort", "dt", "lp", "cp", "seb", "lelists", "scc"} {
+				table1(w)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table1 row %q\n", which)
+			os.Exit(2)
+		}
+	}
+
+	switch cmd {
+	case "table1":
+		table1(*row)
+	case "incircle":
+		print(experiments.InCircleConstant(*seed, sizesUpTo(min(*maxN, 1<<14), 512), *trials))
+	case "depth":
+		print(experiments.DepthDistribution(*seed, *alg, *n, *trials))
+	case "special":
+		print(experiments.SpecialIterations(*seed, sizesUpTo(min(*maxN, 1<<15), 1024), *trials))
+	case "deps":
+		print(experiments.DependenceCounts(*seed, sizesUpTo(min(*maxN, 1<<15), 1024), *trials))
+		print(experiments.IncomingDependences(*seed, sizesUpTo(min(*maxN, 1<<13), 512), 8))
+	case "sccsweep":
+		print(experiments.SCCWorkloads(*seed, *n))
+	case "gks":
+		print(experiments.GKSComparison(*seed, sizesUpTo(min(*maxN, 1<<14), 512)))
+	case "shuffle":
+		print(experiments.ShuffleDepth(*seed, sizesUpTo(*maxN, 1024)))
+	case "all":
+		table1("")
+		print(experiments.GKSComparison(*seed, sizesUpTo(1<<13, 512)))
+		print(experiments.InCircleConstant(*seed, sizesUpTo(1<<13, 512), *trials))
+		print(experiments.DepthDistribution(*seed, "sort", *n, *trials))
+		print(experiments.DepthDistribution(*seed, "dt", min(*n, 4096), *trials))
+		print(experiments.SpecialIterations(*seed, sizesUpTo(1<<14, 1024), *trials))
+		print(experiments.DependenceCounts(*seed, sizesUpTo(1<<14, 1024), *trials))
+		print(experiments.IncomingDependences(*seed, sizesUpTo(1<<12, 512), 8))
+		print(experiments.SCCWorkloads(*seed, *n))
+		print(experiments.ShuffleDepth(*seed, sizesUpTo(1<<16, 1024)))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: ridt <command> [flags]
+
+commands:
+  table1     regenerate Table 1 (all rows, or -row sort|dt|lp|cp|seb|lelists|scc)
+  incircle   Theorem 4.5: InCircle constant for 2D Delaunay
+  depth      Theorem 2.1/4.3: dependence-depth concentration (-alg sort|dt)
+  special    Theorem 2.2: special-iteration counts for the Type 2 algorithms
+  deps       Corollary 2.4 and Theorem 2.6: dependence counts
+  sccsweep   SCC robustness across graph families
+  gks        Section 4: GKS vs Boissonnat–Teillaud comparison
+  shuffle    parallel random-permutation depth
+  all        run everything
+
+flags (after the command): -seed -row -alg -n -max -trials
+`)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Parallelism in
+// Randomized Incremental Algorithms" (Blelloch, Gu, Shun, Sun; SPAA 2016).
+//
+// The library lives under internal/: the framework (internal/core), the
+// seven algorithms (bstsort, delaunay, lp, closestpair, seb, lelists, scc),
+// their substrates (parallel, rng, geom, graph, hashtable, sortutil,
+// depgraph), and the experiment harness (experiments). The cmd/ridt binary
+// regenerates the paper's Table 1 and theorem-level claims; runnable
+// examples are under examples/. The benchmarks in bench_test.go cover every
+// table row plus the design ablations listed in DESIGN.md.
+package repro

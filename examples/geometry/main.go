@@ -1,0 +1,78 @@
+// Geometric optimization with the Type 2 algorithms — Section 5's linear
+// programming and smallest enclosing disk on a facility-placement story:
+// find the cheapest feasible operating point under random market
+// constraints (2D LP), then site a service hub covering all customers with
+// the smallest disk, and locate the two closest customers (closest pair).
+//
+//	go run ./examples/geometry [-n 50000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/closestpair"
+	"repro/internal/geom"
+	"repro/internal/lp"
+	"repro/internal/rng"
+	"repro/internal/seb"
+)
+
+func main() {
+	n := flag.Int("n", 50000, "constraints / customers")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+	r := rng.New(*seed)
+
+	fmt.Printf("geometry pipeline: n=%d seed=%d\n\n", *n, *seed)
+
+	// --- 2D linear programming -------------------------------------------
+	cons := lp.TangentConstraints(r, *n)
+	cx, cy := lp.RandomObjective(r)
+	start := time.Now()
+	res, st := lp.ParSolve(cons, cx, cy)
+	fmt.Printf("LP (%d constraints): ", *n)
+	if !res.Feasible {
+		fmt.Println("infeasible")
+	} else {
+		fmt.Printf("optimum (%.5f, %.5f) value %.5f\n", res.X, res.Y, res.Value)
+	}
+	fmt.Printf("  %v, %d tight (special) constraints, %d sub-rounds, %d work units\n",
+		time.Since(start).Round(time.Microsecond), st.Special, st.SubRounds,
+		st.SideTests+st.OneDimWork)
+	seqRes, _ := lp.Solve(cons, cx, cy)
+	if seqRes.Feasible != res.Feasible {
+		panic("parallel LP disagrees with sequential")
+	}
+
+	// An infeasible market for contrast.
+	bad := lp.InfeasibleConstraints(r, *n)
+	if res2, _ := lp.ParSolve(bad, cx, cy); res2.Feasible {
+		panic("infeasible program reported feasible")
+	}
+	fmt.Printf("  infeasible variant correctly rejected\n\n")
+
+	// --- Smallest enclosing disk ------------------------------------------
+	customers := geom.Dedup(geom.GaussianCluster(r, *n, 12, 0.05))
+	start = time.Now()
+	disk, sebSt := seb.ParIncremental(customers)
+	fmt.Printf("service hub for %d customers: center (%.4f, %.4f), radius %.4f\n",
+		len(customers), disk.Center.X, disk.Center.Y, disk.Radius())
+	fmt.Printf("  %v, %d special iterations, %d in-disk tests (%.1f per customer)\n",
+		time.Since(start).Round(time.Microsecond), sebSt.Special, sebSt.InDiskTests,
+		float64(sebSt.InDiskTests)/float64(len(customers)))
+
+	// --- Closest pair -------------------------------------------------------
+	start = time.Now()
+	pair, cpSt := closestpair.ParIncremental(customers)
+	fmt.Printf("closest customers: %d and %d at distance %.6f\n", pair.I, pair.J, pair.Dist)
+	fmt.Printf("  %v, %d grid rebuilds, %.1f distance checks per customer\n",
+		time.Since(start).Round(time.Microsecond), cpSt.Special,
+		float64(cpSt.DistChecks)/float64(len(customers)))
+
+	if dc := closestpair.DivideAndConquer(customers); dc.Dist != pair.Dist {
+		panic("closest pair disagrees with divide and conquer")
+	}
+	fmt.Println("\nall results cross-checked ✓")
+}

@@ -1,0 +1,175 @@
+// Integration tests exercising several algorithm packages against each
+// other on one geometric dataset: classic cross-invariants (the closest
+// pair is a Delaunay edge; the triangulation graph is connected; LE-lists
+// over the triangulation agree with direct shortest paths) catch mistakes
+// no single-package test can.
+package repro
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/bstsort"
+	"repro/internal/closestpair"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lelists"
+	"repro/internal/rng"
+	"repro/internal/scc"
+	"repro/internal/seb"
+)
+
+// dtGraph converts the interior of a Delaunay mesh into a weighted
+// undirected graph on the input points (edge weight = Euclidean length).
+func dtGraph(m *delaunay.Mesh) *graph.Graph {
+	seen := map[[2]int32]bool{}
+	var edges []graph.Edge
+	for _, t := range m.InnerTriangles() {
+		for e := 0; e < 3; e++ {
+			a, b := t.V[e], t.V[(e+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int32{a, b}] {
+				continue
+			}
+			seen[[2]int32{a, b}] = true
+			w := geom.Dist(m.Points[a], m.Points[b])
+			edges = append(edges, graph.Edge{From: int(a), To: int(b), W: w})
+		}
+	}
+	return graph.Symmetrize(m.N, edges, true)
+}
+
+func TestClosestPairIsDelaunayEdge(t *testing.T) {
+	// Textbook fact: the closest pair of a point set is joined by a
+	// Delaunay edge, and its distance is the minimum edge length.
+	for _, seed := range []uint64{1, 2, 3} {
+		pts := geom.Dedup(geom.UniformSquare(rng.New(seed), 800))
+		pair, _ := closestpair.ParIncremental(pts)
+		mesh := delaunay.ParTriangulate(pts)
+		g := dtGraph(mesh)
+		minEdge := math.Inf(1)
+		var minA, minB int
+		for u := 0; u < g.N; u++ {
+			adj, ws := g.OutW(u)
+			for k := range adj {
+				if ws[k] < minEdge {
+					minEdge = ws[k]
+					minA, minB = u, int(adj[k])
+				}
+			}
+		}
+		if math.Abs(minEdge-pair.Dist) > 1e-12 {
+			t.Fatalf("seed %d: min DT edge %g != closest pair %g", seed, minEdge, pair.Dist)
+		}
+		if minA > minB {
+			minA, minB = minB, minA
+		}
+		if minA != pair.I || minB != pair.J {
+			t.Fatalf("seed %d: DT min edge (%d,%d) != pair (%d,%d)", seed, minA, minB, pair.I, pair.J)
+		}
+	}
+}
+
+func TestDelaunayGraphIsConnectedSCC(t *testing.T) {
+	// The (symmetrized) Delaunay graph of any point set is connected, so
+	// the SCC decomposition must find exactly one component.
+	pts := geom.Dedup(geom.UniformSquare(rng.New(7), 500))
+	mesh := delaunay.ParTriangulate(pts)
+	g := dtGraph(mesh)
+	labels, _ := scc.Parallel(g)
+	if got := scc.CountSCCs(labels); got != 1 {
+		t.Fatalf("Delaunay graph has %d SCCs, want 1", got)
+	}
+}
+
+func TestLEListsOverDelaunayGraph(t *testing.T) {
+	// LE-lists on the triangulation graph: the closest first-landmark per
+	// vertex must agree with a direct pruned-SSSP oracle, and parallel
+	// must equal sequential on this organically-built weighted graph.
+	pts := geom.Dedup(geom.UniformSquare(rng.New(9), 300))
+	mesh := delaunay.ParTriangulate(pts)
+	g := dtGraph(mesh)
+	seq, _ := lelists.Sequential(g)
+	par, _ := lelists.Parallel(g)
+	if !lelists.Equal(seq, par) {
+		t.Fatal("parallel LE-lists differ on Delaunay graph")
+	}
+	d0 := graph.FullSSSP(g, 0)
+	for u := 0; u < g.N; u++ {
+		if len(seq[u]) == 0 {
+			t.Fatalf("vertex %d has empty list on a connected graph", u)
+		}
+		if first := seq[u][0]; first.V != 0 || math.Abs(first.Dist-d0[u]) > 1e-9 {
+			t.Fatalf("vertex %d: first entry %+v, want source 0 at distance %g", u, first, d0[u])
+		}
+	}
+}
+
+func TestSEBContainsDelaunayMesh(t *testing.T) {
+	// The smallest enclosing disk of the points contains every triangle
+	// corner, and its radius is at least half the farthest-pair distance
+	// (diameter lower bound) and at most the full diameter.
+	pts := geom.Dedup(geom.UniformDisk(rng.New(11), 600))
+	disk, _ := seb.ParIncremental(pts)
+	diam := 0.0
+	for i := 0; i < len(pts); i += 7 { // sampled farthest pair lower bound
+		for j := i + 1; j < len(pts); j += 5 {
+			if d := geom.Dist(pts[i], pts[j]); d > diam {
+				diam = d
+			}
+		}
+	}
+	r := disk.Radius()
+	if r < diam/2-1e-9 {
+		t.Fatalf("radius %g smaller than half the (sampled) diameter %g", r, diam/2)
+	}
+	if r > diam+1e-9 {
+		t.Fatalf("radius %g exceeds the diameter %g", r, diam)
+	}
+	for _, p := range pts {
+		if !disk.Contains(p) {
+			t.Fatal("disk misses a point")
+		}
+	}
+}
+
+func TestSortedCoordinatesMatchStdlib(t *testing.T) {
+	pts := geom.UniformSquare(rng.New(13), 5000)
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+	}
+	got := bstsort.Sort(xs)
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func TestFullPipelineDeterminism(t *testing.T) {
+	// The entire pipeline is deterministic given the seed: repeat twice
+	// and compare every output.
+	run := func() (int, float64, float64, int) {
+		r := rng.New(42)
+		pts := geom.Dedup(geom.UniformSquare(r, 400))
+		mesh := delaunay.ParTriangulate(pts)
+		pair, _ := closestpair.ParIncremental(pts)
+		disk, _ := seb.ParIncremental(pts)
+		g := dtGraph(mesh)
+		labels, _ := scc.Parallel(g)
+		return len(mesh.Triangles), pair.Dist, disk.R2, scc.CountSCCs(labels)
+	}
+	t1, d1, r1, s1 := run()
+	t2, d2, r2, s2 := run()
+	if t1 != t2 || d1 != d2 || r1 != r2 || s1 != s2 {
+		t.Fatalf("pipeline is not deterministic: (%d,%g,%g,%d) vs (%d,%g,%g,%d)",
+			t1, d1, r1, s1, t2, d2, r2, s2)
+	}
+}

@@ -1,0 +1,53 @@
+package bstsort
+
+import (
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/rng"
+)
+
+// TestDependenceDAGDepthEqualsRounds captures the BST's iteration
+// dependence graph explicitly (Definition 1: each key depends on its tree
+// parent, the last iteration on its search path) and checks that its depth
+// equals the parallel round count — the identity the paper's Type 1
+// analysis rests on.
+func TestDependenceDAGDepthEqualsRounds(t *testing.T) {
+	for _, n := range []int{10, 200, 3000} {
+		keys := make([]float64, n)
+		r := rng.New(uint64(n) + 5)
+		for i := range keys {
+			keys[i] = r.Float64()
+		}
+		tree, st := ParInsert(keys)
+
+		dag := depgraph.New(n)
+		for i := 0; i < n; i++ {
+			dag.AddNode()
+		}
+		// A tree parent is always inserted before its child, so edges go
+		// forward in iteration order (depgraph panics otherwise — itself
+		// a structural check).
+		for p := 0; p < n; p++ {
+			if c := tree.Left[p]; c >= 0 {
+				dag.AddEdge(p, int(c))
+			}
+			if c := tree.Right[p]; c >= 0 {
+				dag.AddEdge(p, int(c))
+			}
+		}
+		if dag.Depth() != st.Rounds {
+			t.Fatalf("n=%d: DAG depth %d != parallel rounds %d", n, dag.Depth(), st.Rounds)
+		}
+		// The transitive reduction of the dependence graph is the BST
+		// itself (Section 3): n-1 edges for n nodes.
+		if dag.Edges() != n-1 {
+			t.Fatalf("n=%d: %d dependence edges, want %d", n, dag.Edges(), n-1)
+		}
+		// Every non-root node depends on exactly one parent.
+		hist := dag.InDegreeHistogram()
+		if hist[0] != 1 || (len(hist) > 1 && hist[1] != n-1) {
+			t.Fatalf("n=%d: in-degree histogram %v", n, hist)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package closestpair
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/hashtable"
+	"repro/internal/parallel"
+)
+
+// parGrid is the concurrent grid used by ParIncremental: cells live in a
+// sharded hash map so whole prefixes can be inserted in parallel and
+// checked concurrently.
+type parGrid struct {
+	r     float64
+	cells *hashtable.Map[uint64, []int32]
+}
+
+func newParGrid(r float64, capacity int) *parGrid {
+	return &parGrid{
+		r: r,
+		cells: hashtable.New[uint64, []int32](4*parallel.MaxProcs(), capacity,
+			func(k uint64) uint64 { return hashtable.Mix64(k) }),
+	}
+}
+
+func (g *parGrid) insert(pts []geom.Point, i int32) {
+	qx, qy := quantize(pts[i], g.r)
+	g.cells.Update(cellKey(qx, qy), func(old []int32, _ bool) []int32 {
+		return append(old, i)
+	})
+}
+
+// nearestBefore returns the minimum distance from pts[i] to 3x3-neighborhood
+// points with index strictly less than i, and the argmin (-1 if none).
+func (g *parGrid) nearestBefore(pts []geom.Point, i int32, checks *int64) (float64, int32) {
+	qx, qy := quantize(pts[i], g.r)
+	best, bestJ := math.Inf(1), int32(-1)
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			cell, _ := g.cells.Load(cellKey(qx+dx, qy+dy))
+			for _, j := range cell {
+				if j >= i {
+					continue
+				}
+				*checks++
+				if d := geom.Dist(pts[i], pts[j]); d < best {
+					best, bestJ = d, j
+				}
+			}
+		}
+	}
+	return best, bestJ
+}
+
+// ParIncremental runs the Type 2 parallel algorithm (Theorem 5.2).
+//
+// Iterations are processed in doubling prefixes. Unlike linear programming,
+// where an iteration's special check depends only on the current optimum,
+// the closest-pair check for point k depends on all points before k, so the
+// sub-round (a) bulk-inserts the whole remaining prefix into the concurrent
+// grid in parallel, (b) checks every prefix point against its 3x3
+// neighborhood restricted to smaller indices — exactly the sequential
+// check — and (c) takes the earliest special iteration with a parallel min
+// reduction, shrinks r, and rebuilds the grid. The result and the sequence
+// of special iterations are identical to the sequential algorithm's.
+func ParIncremental(pts []geom.Point) (Result, Stats) {
+	n := len(pts)
+	if n < 2 {
+		panic("closestpair: need at least two points")
+	}
+	var st Stats
+	var checks atomic.Int64
+	res := Result{I: 0, J: 1, Dist: geom.Dist(pts[0], pts[1])}
+	checks.Add(1)
+	st.Special++ // iteration 1 defines r, as in the sequential count
+	g := newParGrid(res.Dist, n)
+	g.insert(pts, 0)
+	g.insert(pts, 1)
+
+	st.CellProbes += 2
+	rebuild := func(upto int) {
+		g = newParGrid(res.Dist, n)
+		parallel.For(0, upto+1, func(k int) { g.insert(pts, int32(k)) })
+		st.CellProbes += int64(upto + 1)
+	}
+
+	j := 2
+	for hi := 4; j < n; hi *= 2 {
+		if hi > n {
+			hi = n
+		}
+		st.Rounds++
+		for j < hi {
+			st.SubRounds++
+			// (a) Insert the remaining prefix in parallel.
+			parallel.For(j, hi, func(k int) { g.insert(pts, int32(k)) })
+			st.CellProbes += int64(hi-j) * 10 // insert + 3x3 check per point
+			// (b)+(c) Earliest iteration whose true nearest-earlier
+			// distance beats r.
+			dist := make([]float64, hi-j)
+			arg := make([]int32, hi-j)
+			blockChecks := make([]int64, hi-j)
+			parallel.For(j, hi, func(k int) {
+				d, a := g.nearestBefore(pts, int32(k), &blockChecks[k-j])
+				dist[k-j], arg[k-j] = d, a
+			})
+			checks.Add(parallel.Sum(blockChecks))
+			l, ok := parallel.MinIndexFunc(j, hi,
+				func(k int) bool { return dist[k-j] < res.Dist },
+				func(k int) int { return k })
+			if !ok {
+				j = hi
+				break
+			}
+			st.Special++
+			res = Result{I: int(arg[l-j]), J: l, Dist: dist[l-j]}
+			rebuild(l)
+			j = l + 1
+		}
+	}
+	st.DistChecks = checks.Load()
+	if res.I > res.J {
+		res.I, res.J = res.J, res.I
+	}
+	return res, st
+}

@@ -1,0 +1,172 @@
+// Package core implements the paper's framework for parallelizing
+// randomized incremental algorithms (Blelloch, Gu, Shun, Sun; SPAA 2016).
+//
+// The paper classifies randomized incremental algorithms by the structure
+// of their iteration dependence graph:
+//
+//   - Type 1: k-bounded (possibly nested) dependences; the dependence DAG is
+//     shallow whp (Theorem 2.1) and iterations run as soon as their
+//     dependences resolve. Type 1 algorithms (BST sort, Delaunay) carry
+//     their own round loops; this package supplies the bound predictions.
+//   - Type 2: each iteration is "special" with probability ≤ c/j and depends
+//     on everything earlier; regular iterations depend only on the closest
+//     earlier special one. RunType2 implements the prefix-doubling schedule
+//     of Algorithm 1 with O(n) work and O(d(n) log n) depth (Theorem 2.2).
+//   - Type 3: separating dependences; iterations may run eagerly in doubled
+//     rounds with a combine step fixing conflicts (Algorithm 2,
+//     Theorem 2.6). RunType3 implements the round schedule.
+//
+// Every runner records the counters the experiments report: rounds
+// (dependence-depth proxy), sub-rounds, special-iteration count, and an
+// algorithm-supplied work tally.
+package core
+
+import "math"
+
+// Hn returns the n-th harmonic number, the scale of the dependence-depth
+// bounds in Theorem 2.1.
+func Hn(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1.
+func Log2Ceil(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p *= 2
+		k++
+	}
+	return k
+}
+
+// Type1DepthBound returns the Theorem 2.1 high-probability bound σ·H_n on
+// iteration dependence depth for an algorithm with k-bounded dependences,
+// evaluated at the theorem's threshold σ = k·e².
+func Type1DepthBound(n, k int) float64 {
+	sigma := float64(k) * math.E * math.E
+	return sigma * Hn(n)
+}
+
+// --- Type 2 -----------------------------------------------------------
+
+// Type2Stats reports what the Algorithm 1 schedule did.
+type Type2Stats struct {
+	N         int
+	Rounds    int   // outer prefix rounds (≈ log2 n)
+	SubRounds int   // total sub-rounds across all rounds
+	Special   int   // special iterations executed (incl. iteration 0)
+	Checks    int64 // total isSpecial evaluations (the O(n) work term)
+}
+
+// Type2Hooks supplies the algorithm-specific pieces of Algorithm 1.
+//
+// The runner preserves the sequential semantics: IsSpecial(k) is evaluated
+// against the state after some prefix [0, j) of iterations has fully
+// executed, with j <= k; only the smallest k reporting true is acted on
+// (its verdict is the sequential one, since no earlier unfinished iteration
+// exists). When RunSpecial(k) is called, all iterations < k have executed
+// and k is special; RunRegular(lo, hi) may execute its iterations in any
+// order or in parallel (none is special given the current state).
+type Type2Hooks struct {
+	// RunFirst executes iteration 0 (always special: it initializes state).
+	RunFirst func()
+	// IsSpecial reports whether iteration k is special given current state.
+	// Called in parallel over a prefix; must not mutate shared state.
+	IsSpecial func(k int) bool
+	// RunRegular executes the regular iterations [lo, hi); may parallelize.
+	RunRegular func(lo, hi int)
+	// RunSpecial executes special iteration k; may touch all earlier state
+	// and may parallelize internally (depth d(n) in the theorem).
+	RunSpecial func(k int)
+}
+
+// RunType2 executes n iterations under the Algorithm 1 prefix-doubling
+// schedule and returns its statistics. Iteration indices are 0-based;
+// iteration 0 is the distinguished first (special) iteration.
+func RunType2(n int, h Type2Hooks) Type2Stats {
+	st := Type2Stats{N: n}
+	if n == 0 {
+		return st
+	}
+	h.RunFirst()
+	st.Special++
+	j := 1
+	for hi := 2; j < n; hi *= 2 {
+		if hi > n {
+			hi = n
+		}
+		st.Rounds++
+		for j < hi {
+			st.SubRounds++
+			// Find the first unfinished special iteration in [j, hi). The
+			// PRAM algorithm evaluates IsSpecial over the whole prefix in
+			// parallel and takes the minimum true index; we scan with an
+			// early break (same result) but charge Checks for the full
+			// prefix to match the parallel work accounting.
+			l := hi
+			for k := j; k < hi; k++ {
+				if h.IsSpecial(k) {
+					l = k
+					break
+				}
+			}
+			st.Checks += int64(hi - j)
+			if l > j {
+				h.RunRegular(j, l)
+			}
+			if l < hi {
+				h.RunSpecial(l)
+				st.Special++
+				j = l + 1
+			} else {
+				j = hi
+			}
+		}
+	}
+	return st
+}
+
+// --- Type 3 -----------------------------------------------------------
+
+// Type3Stats reports what the Algorithm 2 schedule did.
+type Type3Stats struct {
+	N      int
+	Rounds int // doubling rounds (= ceil(log2 n))
+}
+
+// Type3Hooks supplies the algorithm-specific pieces of Algorithm 2.
+type Type3Hooks struct {
+	// RunFirst executes iteration 0 alone.
+	RunFirst func()
+	// RunRound executes iterations [lo, hi) in parallel, each as if at
+	// position lo, against the state frozen at the end of the previous
+	// round.
+	RunRound func(lo, hi int)
+	// Combine merges the results of [lo, hi) so that earlier iterations
+	// take priority; afterwards the state must equal the sequential state
+	// after iteration hi-1 (or a refinement that the algorithm accepts).
+	Combine func(lo, hi int)
+}
+
+// RunType3 executes n iterations under the Algorithm 2 doubling schedule.
+func RunType3(n int, h Type3Hooks) Type3Stats {
+	st := Type3Stats{N: n}
+	if n == 0 {
+		return st
+	}
+	h.RunFirst()
+	for lo := 1; lo < n; lo *= 2 {
+		hi := lo * 2
+		if hi > n {
+			hi = n
+		}
+		st.Rounds++
+		h.RunRound(lo, hi)
+		h.Combine(lo, hi)
+	}
+	return st
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestHn(t *testing.T) {
+	if Hn(1) != 1 {
+		t.Fatal("H_1 = 1")
+	}
+	if math.Abs(Hn(2)-1.5) > 1e-15 {
+		t.Fatal("H_2 = 1.5")
+	}
+	// H_n ≈ ln n + γ.
+	if got := Hn(100000); math.Abs(got-(math.Log(100000)+0.5772156649)) > 1e-4 {
+		t.Fatalf("H_100000 = %v", got)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Fatalf("Log2Ceil(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestType1DepthBound(t *testing.T) {
+	// σ = k e² with k=2 for BST sort: the bound at n=1000 is ~ 2e² H_1000.
+	got := Type1DepthBound(1000, 2)
+	want := 2 * math.E * math.E * Hn(1000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bound=%v want %v", got, want)
+	}
+}
+
+// type2Trace runs RunType2 against a scripted special-set and records the
+// execution order, verifying the scheduler's sequential semantics.
+func type2Trace(t *testing.T, n int, specialAt map[int]bool) {
+	t.Helper()
+	executed := make([]bool, n)
+	var order []int
+	h := Type2Hooks{
+		RunFirst: func() {
+			executed[0] = true
+			order = append(order, 0)
+		},
+		IsSpecial: func(k int) bool {
+			if executed[k] {
+				t.Fatalf("IsSpecial(%d) called after execution", k)
+			}
+			return specialAt[k]
+		},
+		RunRegular: func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				if executed[k] {
+					t.Fatalf("iteration %d executed twice", k)
+				}
+				if specialAt[k] {
+					t.Fatalf("special iteration %d run as regular", k)
+				}
+				executed[k] = true
+				order = append(order, k)
+			}
+		},
+		RunSpecial: func(k int) {
+			if !specialAt[k] {
+				t.Fatalf("regular iteration %d run as special", k)
+			}
+			// All earlier iterations must be done.
+			for j := 0; j < k; j++ {
+				if !executed[j] {
+					t.Fatalf("special %d ran before iteration %d", k, j)
+				}
+			}
+			executed[k] = true
+			order = append(order, k)
+		},
+	}
+	st := RunType2(n, h)
+	for k := 0; k < n; k++ {
+		if !executed[k] {
+			t.Fatalf("iteration %d never executed", k)
+		}
+	}
+	wantSpecial := 1
+	for k := range specialAt {
+		if k != 0 && k < n && specialAt[k] {
+			wantSpecial++
+		}
+	}
+	if st.Special != wantSpecial {
+		t.Fatalf("special=%d want %d", st.Special, wantSpecial)
+	}
+	if st.N != n {
+		t.Fatalf("N=%d", st.N)
+	}
+}
+
+func TestRunType2NoSpecials(t *testing.T) {
+	type2Trace(t, 100, map[int]bool{})
+}
+
+func TestRunType2AllSpecials(t *testing.T) {
+	all := map[int]bool{}
+	for i := 1; i < 33; i++ {
+		all[i] = true
+	}
+	type2Trace(t, 33, all)
+}
+
+func TestRunType2ScatteredSpecials(t *testing.T) {
+	type2Trace(t, 257, map[int]bool{1: true, 2: true, 7: true, 64: true, 255: true, 256: true})
+}
+
+func TestRunType2RandomScripts(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		sp := map[int]bool{}
+		for k := 1; k < n; k++ {
+			if r.Intn(k+1) == 0 { // ~1/k probability, the Type 2 regime
+				sp[k] = true
+			}
+		}
+		type2Trace(t, n, sp)
+	}
+}
+
+func TestRunType2Empty(t *testing.T) {
+	st := RunType2(0, Type2Hooks{
+		RunFirst:  func() { t.Fatal("must not run") },
+		IsSpecial: func(int) bool { return false },
+	})
+	if st.Special != 0 || st.Rounds != 0 {
+		t.Fatalf("empty run: %+v", st)
+	}
+}
+
+func TestRunType2ChecksLinear(t *testing.T) {
+	// With O(1) expected specials per prefix, total checks are O(n).
+	r := rng.New(2)
+	n := 1 << 14
+	sp := map[int]bool{}
+	for k := 1; k < n; k++ {
+		if r.Intn(k+1) == 0 {
+			sp[k] = true
+		}
+	}
+	done := make([]bool, n)
+	st := RunType2(n, Type2Hooks{
+		RunFirst:   func() { done[0] = true },
+		IsSpecial:  func(k int) bool { return sp[k] },
+		RunRegular: func(lo, hi int) {},
+		RunSpecial: func(k int) {},
+	})
+	if st.Checks > int64(12*n) {
+		t.Fatalf("checks=%d is superlinear for n=%d", st.Checks, n)
+	}
+}
+
+func TestRunType3Schedule(t *testing.T) {
+	n := 100
+	var rounds [][2]int
+	first := 0
+	st := RunType3(n, Type3Hooks{
+		RunFirst: func() { first++ },
+		RunRound: func(lo, hi int) { rounds = append(rounds, [2]int{lo, hi}) },
+		Combine: func(lo, hi int) {
+			last := rounds[len(rounds)-1]
+			if last != [2]int{lo, hi} {
+				t.Fatal("combine range must match the round range")
+			}
+		},
+	})
+	if first != 1 {
+		t.Fatal("RunFirst must run exactly once")
+	}
+	// Rounds must partition [1, n) in doubling blocks.
+	expectLo := 1
+	for _, r := range rounds {
+		if r[0] != expectLo {
+			t.Fatalf("round starts at %d, want %d", r[0], expectLo)
+		}
+		expectLo = r[1]
+	}
+	if expectLo != n {
+		t.Fatalf("rounds end at %d, want %d", expectLo, n)
+	}
+	if st.Rounds != len(rounds) || st.Rounds != Log2Ceil(n) {
+		t.Fatalf("rounds=%d want %d", st.Rounds, Log2Ceil(n))
+	}
+}
+
+func TestRunType3SmallN(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		count := 0
+		RunType3(n, Type3Hooks{
+			RunFirst: func() { count++ },
+			RunRound: func(lo, hi int) { count += hi - lo },
+			Combine:  func(lo, hi int) {},
+		})
+		if count != n {
+			t.Fatalf("n=%d: executed %d iterations", n, count)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package delaunay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestGKSMatchesBT(t *testing.T) {
+	// Under general position the Delaunay triangulation is unique, so GKS
+	// and the Boissonnat–Teillaud variant must produce the same triangles.
+	for _, n := range []int{1, 2, 3, 10, 100, 600} {
+		pts := randPoints(uint64(n)*17+3, n)
+		bt := Triangulate(pts)
+		gks, _ := GKSTriangulate(pts)
+		tb := SortTriangles(bt.Triangles)
+		tg := SortTriangles(gks.Triangles)
+		if len(tb) != len(tg) {
+			t.Fatalf("n=%d: BT %d triangles, GKS %d", n, len(tb), len(tg))
+		}
+		for i := range tb {
+			if tb[i] != tg[i] {
+				t.Fatalf("n=%d: triangle %d differs: %v vs %v", n, i, tb[i], tg[i])
+			}
+		}
+	}
+}
+
+func TestGKSDelaunayProperty(t *testing.T) {
+	pts := randPoints(99, 300)
+	m, _ := GKSTriangulate(pts)
+	if err := CheckDelaunay(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConsistency(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGKSWorkNLogN(t *testing.T) {
+	// GKS InCircle tests are also O(n log n) expected (the classic
+	// analysis gives <= ~9n expected flips-related tests plus location).
+	for _, n := range []int{1000, 4000} {
+		pts := randPoints(uint64(n), n)
+		_, st := GKSTriangulate(pts)
+		nlogn := float64(n) * math.Log(float64(n))
+		if float64(st.InCircleTests) > 4*nlogn {
+			t.Fatalf("n=%d: %d InCircle tests superlinear in n log n", n, st.InCircleTests)
+		}
+		if float64(st.LocateSteps) > 20*nlogn {
+			t.Fatalf("n=%d: %d locate steps superlogarithmic", n, st.LocateSteps)
+		}
+	}
+}
+
+func TestGKSLocateDepthLogarithmic(t *testing.T) {
+	n := 4000
+	pts := randPoints(7, n)
+	_, st := GKSTriangulate(pts)
+	if limit := int(12 * math.Log2(float64(n))); st.MaxLocateDepth > limit {
+		t.Fatalf("max locate depth %d exceeds %d", st.MaxLocateDepth, limit)
+	}
+}
+
+func TestGKSCocircular(t *testing.T) {
+	// Near-cocircular input exercises exact predicates through the flip
+	// cascade; the result must still match BT exactly.
+	pts := geom.Dedup(geom.OnCircle(rng.New(3), 50, 1e-9))
+	bt := Triangulate(pts)
+	gks, _ := GKSTriangulate(pts)
+	tb, tg := SortTriangles(bt.Triangles), SortTriangles(gks.Triangles)
+	if len(tb) != len(tg) {
+		t.Fatalf("cocircular: BT %d vs GKS %d triangles", len(tb), len(tg))
+	}
+	for i := range tb {
+		if tb[i] != tg[i] {
+			t.Fatalf("cocircular: triangle %d differs", i)
+		}
+	}
+}
+
+func TestGKSVsBTWorkComparison(t *testing.T) {
+	// The Fact 4.1 optimization makes BT's InCircle accounting comparable
+	// to GKS's; both should be Θ(n log n) with BT's constant below its
+	// Theorem 4.5 bound. This test pins the relationship loosely so a
+	// regression in either accounting shows up.
+	n := 2000
+	pts := randPoints(11, n)
+	bt := Triangulate(pts)
+	_, gksSt := GKSTriangulate(pts)
+	if bt.Stats.InCircleTests == 0 || gksSt.InCircleTests == 0 {
+		t.Fatal("zero InCircle counts")
+	}
+	ratio := float64(bt.Stats.InCircleTests) / float64(gksSt.InCircleTests)
+	if ratio < 0.5 || ratio > 50 {
+		t.Fatalf("BT/GKS InCircle ratio %.2f outside sanity window", ratio)
+	}
+}

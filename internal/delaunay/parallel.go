@@ -1,0 +1,156 @@
+package delaunay
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/hashtable"
+	"repro/internal/parallel"
+)
+
+// faceEntry is a face's up-to-two incident triangles in the concurrent
+// face map.
+type faceEntry struct {
+	t0, t1 int32
+}
+
+// fire describes one ReplaceBoundary scheduled for the current round: face
+// fk is ripped from the t side (whose earliest encroacher is the new point)
+// with to on the other side (NoTri for hull faces of the bounding triangle).
+type fire struct {
+	fk    uint64
+	t, to int32
+}
+
+// ParTriangulate runs Algorithm 5 (ParIncrementalDT): in every round, all
+// faces f = (to, t) with min(E(t)) < min(E(to)) run
+// ReplaceBoundary(to, f, t, min(E(t))) in parallel. By Lemma 4.2 the calls
+// are exactly those of the sequential algorithm, so the result is the same
+// triangulation; the number of rounds is the triangle dependence depth
+// D(G_T(V)) = O(d log n) whp (Theorem 4.3).
+func ParTriangulate(pts []geom.Point) *Mesh {
+	s := newStore(pts)
+	faces := hashtable.New[uint64, faceEntry](4*parallel.MaxProcs(), 8*len(pts)+16,
+		func(k uint64) uint64 { return hashtable.Mix64(k) })
+	// Seed the map with the bounding triangle's three faces.
+	tb := s.tris[0]
+	candidates := make([]uint64, 0, 3)
+	for e := 0; e < 3; e++ {
+		fk := faceKey(tb.V[e], tb.V[(e+1)%3])
+		faces.Store(fk, faceEntry{0, NoTri})
+		candidates = append(candidates, fk)
+	}
+
+	for {
+		// Activation: evaluate each candidate face against the condition of
+		// Algorithm 5 line 6. A face with only one triangle so far (and not
+		// a hull face of t_b) must wait for its second triangle.
+		fires := make([]fire, 0, len(candidates))
+		for _, fk := range candidates {
+			ent, ok := faces.Load(fk)
+			if !ok {
+				continue
+			}
+			t0, t1 := ent.t0, ent.t1
+			if t1 == NoTri && !s.isBoundingEdge(fk) {
+				continue // waiting for the second incident triangle
+			}
+			m0, m1 := s.minE(t0), s.minE(t1)
+			switch {
+			case m0 < m1:
+				fires = append(fires, fire{fk, t0, t1})
+			case m1 < m0:
+				fires = append(fires, fire{fk, t1, t0})
+			}
+		}
+		if len(fires) == 0 {
+			break
+		}
+		s.stats.Rounds++
+
+		// Phase A (parallel, read-only): compute every new triangle's data.
+		newTris := make([]Tri, len(fires))
+		newDepth := make([]int32, len(fires))
+		var tests atomic.Int64
+		preds := make([]geom.PredicateStats, len(fires))
+		var predIdx atomic.Int64
+		parallel.Blocks(0, len(fires), 1, func(lo, hi int) {
+			pred := &preds[predIdx.Add(1)-1]
+			var local int64
+			for k := lo; k < hi; k++ {
+				f := fires[k]
+				v := s.minE(f.t)
+				tri, tc := s.newTriData(f.to, f.fk, f.t, v, pred)
+				local += tc
+				newTris[k] = tri
+				d := s.depth[f.t] + 1
+				if f.to != NoTri && s.depth[f.to]+1 > d {
+					d = s.depth[f.to] + 1
+				}
+				newDepth[k] = d
+			}
+			tests.Add(local)
+		})
+		s.stats.InCircleTests += tests.Load()
+		for i := range preds {
+			s.pred.Merge(preds[i])
+		}
+
+		// Phase B (sequential append, parallel map update): assign ids and
+		// install the new triangles into the face map.
+		base := int32(len(s.tris))
+		s.tris = append(s.tris, newTris...)
+		s.depth = append(s.depth, newDepth...)
+		s.stats.TrianglesCreated += int64(len(fires))
+
+		nextCand := make([][]uint64, len(fires))
+		var candIdx atomic.Int64
+		parallel.Blocks(0, len(fires), 1, func(lo, hi int) {
+			ci := candIdx.Add(1) - 1
+			var local []uint64
+			for k := lo; k < hi; k++ {
+				f := fires[k]
+				id := base + int32(k)
+				v := newTris[k].V
+				// The ripped face now borders the new triangle instead of t.
+				faces.Update(f.fk, func(old faceEntry, ok bool) faceEntry {
+					if old.t0 == f.t {
+						old.t0 = id
+					} else {
+						old.t1 = id
+					}
+					return old
+				})
+				local = append(local, f.fk)
+				// Register the two new faces of t'.
+				a, b := faceEnds(f.fk)
+				apex := v[0] + v[1] + v[2] - a - b
+				for _, fk2 := range [2]uint64{faceKey(a, apex), faceKey(b, apex)} {
+					faces.Update(fk2, func(old faceEntry, ok bool) faceEntry {
+						if !ok {
+							return faceEntry{id, NoTri}
+						}
+						old.t1 = id
+						return old
+					})
+					local = append(local, fk2)
+				}
+			}
+			nextCand[ci] = local
+		})
+		// Deduplicate candidates (a face may be touched from both sides).
+		var merged []uint64
+		for _, c := range nextCand {
+			merged = append(merged, c...)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		candidates = merged[:0]
+		for i, fk := range merged {
+			if i == 0 || fk != merged[i-1] {
+				candidates = append(candidates, fk)
+			}
+		}
+	}
+	return s.finish()
+}

@@ -1,0 +1,122 @@
+// Package depgraph captures iteration dependence graphs (Definition 1 of
+// the paper) so experiments can measure their depth and in-degree
+// distributions and compare them with the paper's high-probability bounds.
+//
+// Nodes are created in a topological order (the algorithm's own iteration
+// or sub-iteration order), so longest-path depth is a single linear pass.
+package depgraph
+
+import "sync"
+
+// DAG is an iteration dependence graph under construction. Node ids are
+// dense ints in creation order; every edge must go from a lower id to a
+// higher id. Safe for concurrent AddNode/AddEdge through the locked
+// variants; the plain methods are for single-threaded capture.
+type DAG struct {
+	mu    sync.Mutex
+	preds [][]int32
+}
+
+// New returns an empty DAG with capacity for n nodes.
+func New(n int) *DAG {
+	return &DAG{preds: make([][]int32, 0, n)}
+}
+
+// AddNode appends a node and returns its id.
+func (d *DAG) AddNode() int {
+	d.preds = append(d.preds, nil)
+	return len(d.preds) - 1
+}
+
+// AddEdge records a dependence of node `to` on node `from` (from < to).
+func (d *DAG) AddEdge(from, to int) {
+	if from >= to {
+		panic("depgraph: edge must go forward in creation order")
+	}
+	d.preds[to] = append(d.preds[to], int32(from))
+}
+
+// AddNodeLocked is AddNode under the DAG's mutex.
+func (d *DAG) AddNodeLocked() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.AddNode()
+}
+
+// AddEdgeLocked is AddEdge under the DAG's mutex.
+func (d *DAG) AddEdgeLocked(from, to int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.AddEdge(from, to)
+}
+
+// Len returns the number of nodes.
+func (d *DAG) Len() int { return len(d.preds) }
+
+// Edges returns the total number of dependence edges.
+func (d *DAG) Edges() int {
+	m := 0
+	for _, ps := range d.preds {
+		m += len(ps)
+	}
+	return m
+}
+
+// Depth returns the length of the longest directed path measured in nodes
+// (a single node has depth 1; the empty DAG has depth 0). This is the
+// iteration dependence depth D(G) of the paper plus one, since the paper
+// counts edges; see DepthEdges.
+func (d *DAG) Depth() int {
+	depth := make([]int32, len(d.preds))
+	best := int32(0)
+	for v, ps := range d.preds {
+		dv := int32(1)
+		for _, u := range ps {
+			if depth[u]+1 > dv {
+				dv = depth[u] + 1
+			}
+		}
+		depth[v] = dv
+		if dv > best {
+			best = dv
+		}
+	}
+	return int(best)
+}
+
+// DepthEdges returns the longest path measured in edges, matching the
+// paper's D(G).
+func (d *DAG) DepthEdges() int {
+	n := d.Depth()
+	if n == 0 {
+		return 0
+	}
+	return n - 1
+}
+
+// InDegreeHistogram returns hist where hist[k] counts nodes with in-degree
+// k (hist is truncated after the largest occurring degree).
+func (d *DAG) InDegreeHistogram() []int {
+	maxDeg := 0
+	for _, ps := range d.preds {
+		if len(ps) > maxDeg {
+			maxDeg = len(ps)
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for _, ps := range d.preds {
+		hist[len(ps)]++
+	}
+	return hist
+}
+
+// MaxInDegree returns the largest in-degree (0 for the empty DAG).
+func (d *DAG) MaxInDegree() int {
+	m := 0
+	for _, ps := range d.preds {
+		if len(ps) > m {
+			m = len(ps)
+		}
+	}
+	return m
+}

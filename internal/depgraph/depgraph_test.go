@@ -1,0 +1,107 @@
+package depgraph
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestEmptyAndSingle(t *testing.T) {
+	d := New(0)
+	if d.Depth() != 0 || d.DepthEdges() != 0 || d.Len() != 0 {
+		t.Fatal("empty DAG")
+	}
+	d.AddNode()
+	if d.Depth() != 1 || d.DepthEdges() != 0 {
+		t.Fatalf("single node: depth=%d edges=%d", d.Depth(), d.DepthEdges())
+	}
+}
+
+func TestChainDepth(t *testing.T) {
+	d := New(10)
+	prev := d.AddNode()
+	for i := 1; i < 10; i++ {
+		cur := d.AddNode()
+		d.AddEdge(prev, cur)
+		prev = cur
+	}
+	if d.Depth() != 10 || d.DepthEdges() != 9 {
+		t.Fatalf("chain: depth=%d edges=%d", d.Depth(), d.DepthEdges())
+	}
+	if d.Edges() != 9 {
+		t.Fatalf("edge count=%d", d.Edges())
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	d := New(4)
+	a := d.AddNode()
+	b := d.AddNode()
+	c := d.AddNode()
+	e := d.AddNode()
+	d.AddEdge(a, b)
+	d.AddEdge(a, c)
+	d.AddEdge(b, e)
+	d.AddEdge(c, e)
+	if d.Depth() != 3 {
+		t.Fatalf("diamond depth=%d want 3", d.Depth())
+	}
+	if d.MaxInDegree() != 2 {
+		t.Fatalf("max in-degree=%d", d.MaxInDegree())
+	}
+	hist := d.InDegreeHistogram()
+	if hist[0] != 1 || hist[1] != 2 || hist[2] != 1 {
+		t.Fatalf("hist=%v", hist)
+	}
+}
+
+func TestBackwardEdgePanics(t *testing.T) {
+	d := New(2)
+	a := d.AddNode()
+	b := d.AddNode()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward edge must panic")
+		}
+	}()
+	d.AddEdge(b, a)
+}
+
+func TestConcurrentConstruction(t *testing.T) {
+	d := New(1000)
+	root := d.AddNodeLocked()
+	parallel.For(0, 999, func(i int) {
+		id := d.AddNodeLocked()
+		d.AddEdgeLocked(root, id)
+	})
+	if d.Len() != 1000 {
+		t.Fatalf("len=%d", d.Len())
+	}
+	if d.Depth() != 2 {
+		t.Fatalf("star depth=%d want 2", d.Depth())
+	}
+	if d.Edges() != 999 {
+		t.Fatalf("edges=%d", d.Edges())
+	}
+}
+
+func TestWideDAGDepth(t *testing.T) {
+	// Levels of width 3 with full bipartite edges between adjacent levels.
+	const levels, width = 20, 3
+	d := New(levels * width)
+	var prev []int
+	for l := 0; l < levels; l++ {
+		var cur []int
+		for w := 0; w < width; w++ {
+			id := d.AddNode()
+			for _, p := range prev {
+				d.AddEdge(p, id)
+			}
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	if d.Depth() != levels {
+		t.Fatalf("depth=%d want %d", d.Depth(), levels)
+	}
+}

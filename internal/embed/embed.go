@@ -1,0 +1,159 @@
+// Package embed builds probabilistic tree embeddings (FRT-style) from
+// LE-lists — the application of Section 6.1 the paper highlights via its
+// references [8, 10]: a hierarchical random decomposition whose tree
+// distances dominate graph distances and approximate them within O(log n)
+// in expectation.
+//
+// The construction follows the LE-list formulation: draw a uniformly random
+// vertex priority order π (realized by randomly relabeling the graph) and a
+// random scale β ∈ [1, 2); the level-i center of vertex v is the
+// lowest-priority vertex within distance β·2^i of v, which is exactly the
+// first entry of v's LE-list at distance ≤ β·2^i. One parallel LE-list
+// construction therefore yields every level of the decomposition at once —
+// the reason the paper's parallel LE-lists matter for tree embeddings.
+package embed
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lelists"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Tree is a hierarchical decomposition of a connected graph. Vertices are
+// leaves; the cluster of v at level i is identified by the suffix
+// Seq[v][i:] (two vertices are in the same level-i cluster iff their
+// center sequences agree from level i upward).
+type Tree struct {
+	N     int
+	L     int       // top level; all vertices share the level-L cluster
+	Beta  float64   // random scale in [1, 2)
+	Radii []float64 // Radii[i] = Beta * 2^i
+	// Seq[v][i] is the center (lowest-priority vertex, in relabeled ids)
+	// of v's level-i cluster.
+	Seq [][]int32
+}
+
+// Build constructs a random tree embedding of the connected graph g.
+// Randomness (the priority permutation and β) derives from seed.
+func Build(g *graph.Graph, seed uint64) (*Tree, error) {
+	r := rng.New(seed)
+	h, perm := graph.RandomRelabel(g, r) // perm[original] = relabeled id
+	lists, _ := lelists.Parallel(h)
+	n := g.N
+	// Eccentricity bound: every list's first entry is the distance to the
+	// highest-priority vertex; diam <= 2 * max of those.
+	maxD := 0.0
+	for v := 0; v < n; v++ {
+		// On a connected graph, every list's first entry is the
+		// highest-priority vertex (relabeled id 0), whose search reaches
+		// everything; any other first entry means v is unreachable from it.
+		if len(lists[v]) == 0 || lists[v][0].V != 0 {
+			return nil, errors.New("embed: graph must be connected")
+		}
+		if d := lists[v][0].Dist; d > maxD {
+			maxD = d
+		}
+	}
+	beta := 1 + r.Float64()
+	diam := 2 * maxD
+	if diam == 0 {
+		diam = 1
+	}
+	top := 0
+	for beta*math.Pow(2, float64(top)) < diam {
+		top++
+	}
+	radii := make([]float64, top+1)
+	for i := range radii {
+		radii[i] = beta * math.Pow(2, float64(i))
+	}
+	// Seq is indexed by ORIGINAL vertex id; the lists live in relabeled id
+	// space, so look up through perm. Center ids stay in relabeled space —
+	// they are only ever compared for equality, which is id-agnostic.
+	seq := make([][]int32, n)
+	parallel.ForGrain(0, n, 64, func(v int) {
+		l := lists[perm[v]]
+		s := make([]int32, top+1)
+		// Entries are in priority order with decreasing distances; the
+		// center at radius r is the first entry with Dist <= r.
+		for i := 0; i <= top; i++ {
+			s[i] = centerWithin(l, radii[i])
+		}
+		seq[v] = s
+	})
+	return &Tree{N: n, L: top, Beta: beta, Radii: radii, Seq: seq}, nil
+}
+
+// centerWithin returns the lowest-priority vertex within distance r of the
+// list's owner: the first entry (priority order) with Dist <= r.
+func centerWithin(l []lelists.Entry, r float64) int32 {
+	for _, e := range l {
+		if e.Dist <= r {
+			return e.V
+		}
+	}
+	return l[len(l)-1].V // the owner itself (distance 0)
+}
+
+// Dist returns the tree distance between u and v: twice the sum of radii
+// up to their lowest common cluster level.
+func (t *Tree) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	su, sv := t.Seq[u], t.Seq[v]
+	// Lowest level at which the suffixes agree.
+	common := t.L + 1
+	for i := t.L; i >= 0; i-- {
+		if su[i] != sv[i] {
+			break
+		}
+		common = i
+	}
+	if common > t.L {
+		// Disagree even at the top (cannot happen on connected graphs).
+		common = t.L
+	}
+	d := 0.0
+	for i := 0; i <= common; i++ {
+		d += t.Radii[i]
+	}
+	return 2 * d
+}
+
+// AvgStretch computes the average of Dist(u,v)/d_G(u,v) over sampled pairs,
+// the empirical counterpart of the O(log n) expected-stretch guarantee.
+// sources limits the number of SSSP calls.
+func AvgStretch(g *graph.Graph, t *Tree, seed uint64, sources int) (avg, worst float64, dominated bool) {
+	r := rng.New(seed)
+	dominated = true
+	count := 0
+	sum := 0.0
+	for s := 0; s < sources; s++ {
+		u := r.Intn(g.N)
+		dist := graph.FullSSSP(g, u)
+		for v := 0; v < g.N; v++ {
+			if v == u || math.IsInf(dist[v], 1) || dist[v] == 0 {
+				continue
+			}
+			dt := t.Dist(u, v)
+			if dt < dist[v]*(1-1e-9) {
+				dominated = false
+			}
+			stretch := dt / dist[v]
+			sum += stretch
+			count++
+			if stretch > worst {
+				worst = stretch
+			}
+		}
+	}
+	if count == 0 {
+		return 0, 0, dominated
+	}
+	return sum / float64(count), worst, dominated
+}

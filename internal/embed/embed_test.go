@@ -1,0 +1,109 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestBuildOnGrid(t *testing.T) {
+	g := graph.Grid2D(12, 12, true, rng.New(1))
+	tr, err := Build(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != g.N || tr.L < 1 || tr.Beta < 1 || tr.Beta >= 2 {
+		t.Fatalf("tree shape: %+v", tr)
+	}
+	// Everyone shares the top-level cluster.
+	top := tr.Seq[0][tr.L]
+	for v := 1; v < tr.N; v++ {
+		if tr.Seq[v][tr.L] != top {
+			t.Fatalf("vertex %d not in the top cluster", v)
+		}
+	}
+}
+
+func TestDominance(t *testing.T) {
+	// The embedding must dominate: d_T(u,v) >= d_G(u,v) for all pairs.
+	// This is an exact invariant of the construction, not probabilistic.
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		g := graph.Grid2D(8, 8, true, rng.New(seed))
+		tr, err := Build(g, seed*31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, dominated := AvgStretch(g, tr, seed, 8)
+		if !dominated {
+			t.Fatalf("seed %d: tree distance below graph distance", seed)
+		}
+	}
+}
+
+func TestExpectedStretchLogarithmic(t *testing.T) {
+	// FRT guarantee: expected stretch O(log n). Average the empirical
+	// stretch over several independent trees; it should sit well below a
+	// generous c·log n.
+	g := graph.Grid2D(10, 10, true, rng.New(9))
+	n := float64(g.N)
+	var total float64
+	trees := 5
+	for s := 0; s < trees; s++ {
+		tr, err := Build(g, uint64(s)*97+13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg, _, _ := AvgStretch(g, tr, uint64(s), 6)
+		total += avg
+	}
+	mean := total / float64(trees)
+	if bound := 8 * math.Log(n); mean > bound {
+		t.Fatalf("mean stretch %.1f exceeds 8 ln n = %.1f", mean, bound)
+	}
+	if mean < 1 {
+		t.Fatalf("mean stretch %.2f below 1 contradicts dominance", mean)
+	}
+}
+
+func TestSelfDistanceZero(t *testing.T) {
+	g := graph.Grid2D(5, 5, true, rng.New(2))
+	tr, err := Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N; v++ {
+		if tr.Dist(v, v) != 0 {
+			t.Fatal("self distance must be zero")
+		}
+	}
+}
+
+func TestTreeMetricProperties(t *testing.T) {
+	// Symmetry and triangle inequality on sampled triples (tree metrics
+	// are ultrametric-like; the triangle inequality must hold exactly).
+	g := graph.GnmUndirected(rng.New(4), 60, 240, true)
+	tr, err := Build(g, 5)
+	if err != nil {
+		t.Skip("sampled graph disconnected; acceptable for this generator")
+	}
+	r := rng.New(6)
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := r.Intn(60), r.Intn(60), r.Intn(60)
+		if tr.Dist(a, b) != tr.Dist(b, a) {
+			t.Fatal("asymmetric tree distance")
+		}
+		if tr.Dist(a, c) > tr.Dist(a, b)+tr.Dist(b, c)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	edges := []graph.Edge{{From: 0, To: 1, W: 1}, {From: 2, To: 3, W: 1}}
+	g := graph.Symmetrize(4, edges, true)
+	if _, err := Build(g, 1); err == nil {
+		t.Fatal("disconnected graph must be rejected")
+	}
+}

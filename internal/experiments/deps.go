@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/bstsort"
+	"repro/internal/closestpair"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lelists"
+	"repro/internal/lp"
+	"repro/internal/rng"
+	"repro/internal/seb"
+)
+
+// DependenceCounts reproduces Corollary 2.4: a randomized incremental
+// algorithm with separating dependences has O(n log n) dependences in
+// expectation — concretely, BST-sort comparisons are bounded by 2 n ln n.
+func DependenceCounts(seed uint64, sizes []int, trials int) *Table {
+	t := &Table{
+		Title:   "Corollary 2.4: expected #dependences <= 2 n ln n (BST sort comparisons)",
+		Note:    "avg/(n ln n) must stay below 2.",
+		Headers: []string{"n", "trials", "avg comparisons", "avg/(n ln n)"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		var sum int64
+		for trial := 0; trial < trials; trial++ {
+			sub := r.Split()
+			keys := make([]float64, n)
+			for i := range keys {
+				keys[i] = sub.Float64()
+			}
+			_, st := bstsort.SeqInsert(keys)
+			sum += st.Comparisons
+		}
+		avg := float64(sum) / float64(trials)
+		t.Rows = append(t.Rows, []string{
+			it(n), it(trials), f2(avg), f3(avg / (float64(n) * math.Log(float64(n)))),
+		})
+	}
+	return t
+}
+
+// IncomingDependences reproduces Lemma 2.5 / Theorem 2.6 for LE-lists: the
+// number of incoming dependences per iteration (kept visits per vertex)
+// under the round schedule is O(log n) whp with geometric per-round tails.
+// The table shows the distribution of per-vertex LE-list lengths.
+func IncomingDependences(seed uint64, sizes []int, avgDeg int) *Table {
+	t := &Table{
+		Title: "Lemma 2.5 / Theorem 2.6: per-vertex dependences are O(log n) whp (LE-lists)",
+		Note: "mean list length ~ ln n (Cohen); max/ln n bounded; total kept\n" +
+			"dependences / (n ln n) bounded.",
+		Headers: []string{"n", "m", "mean len", "mean/ln n", "max len", "max/ln n", "total/(n ln n)"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		g := graph.GnmUndirected(r, n, avgDeg*n/2, true)
+		lists, _ := lelists.Parallel(g)
+		total, maxLen := 0, 0
+		for _, l := range lists {
+			total += len(l)
+			if len(l) > maxLen {
+				maxLen = len(l)
+			}
+		}
+		logn := math.Log(float64(n))
+		mean := float64(total) / float64(n)
+		t.Rows = append(t.Rows, []string{
+			it(n), it(g.M()), f2(mean), f2(mean / logn),
+			it(maxLen), f2(float64(maxLen) / logn),
+			f3(float64(total) / (float64(n) * logn)),
+		})
+	}
+	return t
+}
+
+// SpecialIterations reproduces Theorem 2.2's premise across the three Type 2
+// algorithms: the number of special iterations is O(log n) (expected
+// Σ c/j = c ln n with c = 2, 2, 3 respectively).
+func SpecialIterations(seed uint64, sizes []int, trials int) *Table {
+	t := &Table{
+		Title:   "Theorem 2.2: special iterations are O(log n) (Type 2 algorithms)",
+		Note:    "each column is avg special count / (c ln n) with the algorithm's c.",
+		Headers: []string{"n", "LP avg", "LP/(2 ln n)", "CP avg", "CP/(2 ln n)", "SEB avg", "SEB/(3 ln n)"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		var lpSum, cpSum, sebSum int
+		for trial := 0; trial < trials; trial++ {
+			sub := r.Split()
+			cons := lp.TangentConstraints(sub, n)
+			cx, cy := lp.RandomObjective(sub)
+			_, lpSt := lp.Solve(cons, cx, cy)
+			lpSum += lpSt.Special
+
+			pts := geom.Dedup(geom.UniformSquare(sub, n))
+			_, cpSt := closestpair.Incremental(pts)
+			cpSum += cpSt.Special
+
+			dpts := geom.UniformDisk(sub, n)
+			_, sebSt := seb.Incremental(dpts)
+			sebSum += sebSt.Special
+		}
+		logn := math.Log(float64(n))
+		lpAvg := float64(lpSum) / float64(trials)
+		cpAvg := float64(cpSum) / float64(trials)
+		sebAvg := float64(sebSum) / float64(trials)
+		t.Rows = append(t.Rows, []string{
+			it(n),
+			f2(lpAvg), f2(lpAvg / (2 * logn)),
+			f2(cpAvg), f2(cpAvg / (2 * logn)),
+			f2(sebAvg), f2(sebAvg / (3 * logn)),
+		})
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bstsort"
+	"repro/internal/core"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// DepthDistribution reproduces the Theorem 2.1 concentration claim for the
+// two Type 1 algorithms: over many random orders, the iteration dependence
+// depth D(G) divided by H_n concentrates well below the theorem's σ
+// threshold (2e² for sorting with k=2; 2(d+1)e² for Delaunay with
+// 2(d+1)-bounded nested dependences).
+func DepthDistribution(seed uint64, alg string, n, trials int) *Table {
+	var sigma float64
+	var title string
+	switch alg {
+	case "sort":
+		sigma = 2 * math.E * math.E
+		title = "Theorem 2.1 depth concentration / BST sort (k=2, σ=2e²≈14.8)"
+	case "dt":
+		sigma = 6 * math.E * math.E
+		title = "Theorem 2.1 depth concentration / Delaunay d=2 (k=2(d+1)=6, σ=6e²≈44.3)"
+	default:
+		panic("experiments: unknown algorithm " + alg)
+	}
+	t := &Table{
+		Title: title,
+		Note: "per-trial dependence depth normalized by H_n; the whp bound says\n" +
+			"Pr[D(G) >= σ H_n] is polynomially small — max should sit far below σ.",
+		Headers: []string{"n", "trials", "min D/Hn", "median D/Hn", "p90 D/Hn", "max D/Hn", "σ"},
+	}
+	r := rng.New(seed)
+	hn := core.Hn(n)
+	ratios := make([]float64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		sub := r.Split()
+		var depth int
+		switch alg {
+		case "sort":
+			keys := make([]float64, n)
+			for i := range keys {
+				keys[i] = sub.Float64()
+			}
+			_, st := bstsort.ParInsert(keys)
+			depth = st.Rounds
+		case "dt":
+			pts := geom.Dedup(geom.UniformSquare(sub, n))
+			m := delaunay.ParTriangulate(pts)
+			depth = m.Stats.DepDepth
+		}
+		ratios = append(ratios, float64(depth)/hn)
+	}
+	sort.Float64s(ratios)
+	q := func(p float64) float64 { return ratios[int(p*float64(len(ratios)-1))] }
+	t.Rows = append(t.Rows, []string{
+		it(n), it(trials),
+		f2(ratios[0]), f2(q(0.5)), f2(q(0.9)), f2(ratios[len(ratios)-1]), f2(sigma),
+	})
+	return t
+}
+
+// ShuffleDepth measures the parallel random permutation's sub-round count
+// (the framework's precursor algorithm, used by all workload generators):
+// O(log n) prefixes with O(1) expected sub-rounds each.
+func ShuffleDepth(seed uint64, sizes []int) *Table {
+	t := &Table{
+		Title:   "Parallel Knuth shuffle sub-rounds (reservation algorithm)",
+		Note:    "sub-rounds / log2 n should be a small constant.",
+		Headers: []string{"n", "sub-rounds", "rounds/log2 n"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		h := rng.SwapTargets(r.Split(), n)
+		_, rounds := rng.ParShuffleWithTargets(h)
+		t.Rows = append(t.Rows, []string{
+			it(n), it(rounds), f2(float64(rounds) / math.Log2(float64(n))),
+		})
+	}
+	return t
+}

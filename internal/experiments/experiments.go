@@ -1,0 +1,87 @@
+// Package experiments contains the measurement harness that regenerates the
+// paper's evaluation artifacts: Table 1 (work and depth for the seven
+// problems) and the quantitative theorem-level claims (Theorem 4.5's
+// InCircle constant, Theorem 2.1/2.2/2.6 depth and dependence bounds).
+//
+// Each experiment returns a Table whose rows report, per input size, the
+// measured operation counts and dependence depths normalized by the
+// paper's bound — the normalized columns should be flat (or bounded by the
+// stated constant) as n grows when the reproduction holds. Wall-clock
+// comparisons between the sequential and parallel implementations are in
+// bench_test.go at the repository root; the tables here are about the
+// quantities the paper actually proves.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(&b, "   %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// timed runs f and returns its wall-clock duration.
+func timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// ms formats a duration in milliseconds with 2 decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func i64(x int64) string  { return fmt.Sprintf("%d", x) }
+func it(x int) string     { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// col extracts column named h from the table as floats.
+func col(t *testing.T, tab *Table, h string) []float64 {
+	t.Helper()
+	idx := -1
+	for i, name := range tab.Headers {
+		if name == h {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("table %q has no column %q (has %v)", tab.Title, h, tab.Headers)
+	}
+	out := make([]float64, 0, len(tab.Rows))
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[idx], 64)
+		if err != nil {
+			t.Fatalf("column %q value %q not numeric: %v", h, row[idx], err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+var smallSizes = []int{512, 1024, 2048}
+
+func TestSortScalingBounds(t *testing.T) {
+	tab := SortScaling(1, smallSizes)
+	for _, v := range col(t, tab, "cmp/(n ln n)") {
+		if v > 2 {
+			t.Fatalf("comparison constant %v exceeds Corollary 2.4's 2", v)
+		}
+	}
+	for _, v := range col(t, tab, "depth/H_n") {
+		if v > 14.8 {
+			t.Fatalf("depth ratio %v exceeds Theorem 2.1's σ=2e²", v)
+		}
+	}
+}
+
+func TestDelaunayScalingBounds(t *testing.T) {
+	tab := DelaunayScaling(1, []int{256, 512})
+	for _, v := range col(t, tab, "IC/(n ln n)") {
+		if v > 24 {
+			t.Fatalf("InCircle constant %v exceeds Theorem 4.5's 24", v)
+		}
+	}
+	for _, v := range col(t, tab, "depth/log2 n") {
+		if v > 12 {
+			t.Fatalf("DT depth ratio %v not logarithmic", v)
+		}
+	}
+}
+
+func TestLPScalingBounds(t *testing.T) {
+	tab := LPScaling(1, smallSizes)
+	for _, v := range col(t, tab, "work/n") {
+		if v > 25 {
+			t.Fatalf("LP work/n = %v not linear", v)
+		}
+	}
+}
+
+func TestClosestPairScalingBounds(t *testing.T) {
+	tab := ClosestPairScaling(1, smallSizes)
+	for _, v := range col(t, tab, "work/n") {
+		if v > 60 {
+			t.Fatalf("CP work/n = %v not linear", v)
+		}
+	}
+}
+
+func TestSEBScalingBounds(t *testing.T) {
+	tab := SEBScaling(1, smallSizes)
+	for _, v := range col(t, tab, "tests/n") {
+		if v > 60 {
+			t.Fatalf("SEB tests/n = %v not linear", v)
+		}
+	}
+}
+
+func TestLEListsScalingBounds(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		tab := LEListsScaling(1, []int{256, 512}, 6, weighted)
+		for _, v := range col(t, tab, "par/seq") {
+			if v > 5 {
+				t.Fatalf("weighted=%v: eager-round overhead %v not constant", weighted, v)
+			}
+		}
+		for _, v := range col(t, tab, "mv/ln n") {
+			if v > 8 {
+				t.Fatalf("weighted=%v: max visits ratio %v not logarithmic", weighted, v)
+			}
+		}
+	}
+}
+
+func TestSCCScalingBounds(t *testing.T) {
+	tab := SCCScaling(1, []int{256, 512, 1024}, 4)
+	for _, v := range col(t, tab, "par/seq") {
+		if v > 6 {
+			t.Fatalf("SCC work overhead %v not constant", v)
+		}
+	}
+}
+
+func TestInCircleConstantUnder24(t *testing.T) {
+	tab := InCircleConstant(1, []int{512, 1024}, 3)
+	for _, v := range col(t, tab, "avg/(n ln n)") {
+		if v > 24 {
+			t.Fatalf("Theorem 4.5 constant %v exceeds 24", v)
+		}
+	}
+}
+
+func TestDepthDistributionUnderSigma(t *testing.T) {
+	for _, alg := range []string{"sort", "dt"} {
+		tab := DepthDistribution(1, alg, 1024, 5)
+		maxs := col(t, tab, "max D/Hn")
+		sigmas := col(t, tab, "σ")
+		for i := range maxs {
+			if maxs[i] >= sigmas[i] {
+				t.Fatalf("%s: max depth ratio %v reaches σ=%v", alg, maxs[i], sigmas[i])
+			}
+		}
+	}
+}
+
+func TestSpecialIterationsTable(t *testing.T) {
+	tab := SpecialIterations(1, []int{512, 1024}, 4)
+	for _, h := range []string{"LP/(2 ln n)", "CP/(2 ln n)", "SEB/(3 ln n)"} {
+		for _, v := range col(t, tab, h) {
+			if v > 1.8 {
+				t.Fatalf("%s ratio %v exceeds the backwards-analysis bound", h, v)
+			}
+		}
+	}
+}
+
+func TestDependenceCountsTable(t *testing.T) {
+	tab := DependenceCounts(1, []int{1024, 2048}, 4)
+	for _, v := range col(t, tab, "avg/(n ln n)") {
+		if v > 2 {
+			t.Fatalf("dependence constant %v exceeds Corollary 2.4's 2", v)
+		}
+	}
+}
+
+func TestIncomingDependencesTable(t *testing.T) {
+	tab := IncomingDependences(1, []int{512, 1024}, 6)
+	for _, v := range col(t, tab, "mean/ln n") {
+		if v < 0.5 || v > 2 {
+			t.Fatalf("mean list length ratio %v far from Cohen's ~1", v)
+		}
+	}
+}
+
+func TestSCCWorkloadsTable(t *testing.T) {
+	tab := SCCWorkloads(1, 512)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("expected 7 workloads, got %d", len(tab.Rows))
+	}
+	for _, v := range col(t, tab, "par/seq") {
+		if v > 8 {
+			t.Fatalf("workload overhead %v not constant", v)
+		}
+	}
+}
+
+func TestShuffleDepthTable(t *testing.T) {
+	tab := ShuffleDepth(1, []int{1024, 4096})
+	for _, v := range col(t, tab, "rounds/log2 n") {
+		if v > 8 {
+			t.Fatalf("shuffle depth ratio %v not logarithmic", v)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Note:    "a note",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tab.String()
+	for _, want := range []string{"== demo ==", "a note", "333"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

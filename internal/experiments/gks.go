@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// GKSComparison contrasts the two incremental Delaunay algorithms of
+// Section 4: the Guibas–Knuth–Sharir history-DAG algorithm (standard,
+// inherently sequential) and the Boissonnat–Teillaud variant the paper
+// parallelizes. Both are Θ(n log n) work; the point of the table is that
+// their outputs are identical (unique DT) while only BT admits the
+// O(d log n) dependence depth of Theorem 4.3.
+func GKSComparison(seed uint64, sizes []int) *Table {
+	t := &Table{
+		Title: "Section 4: GKS (history DAG + flips) vs Boissonnat–Teillaud",
+		Note: "identical triangulations; BT's InCircle constant obeys Thm 4.5's 24;\n" +
+			"GKS locate depth is O(log n) but its rip cascade has no depth bound.",
+		Headers: []string{"n", "BT IC/(n ln n)", "GKS IC/(n ln n)", "GKS flips", "GKS max locate", "BT dep depth", "bt ms", "gks ms"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		pts := geom.Dedup(geom.UniformSquare(r, n))
+		var bt *delaunay.Mesh
+		var gksSt delaunay.GKSStats
+		btT := timed(func() { bt = delaunay.Triangulate(pts) })
+		gksT := timed(func() { _, gksSt = delaunay.GKSTriangulate(pts) })
+		nlogn := float64(n) * math.Log(float64(n))
+		t.Rows = append(t.Rows, []string{
+			it(n),
+			f2(float64(bt.Stats.InCircleTests) / nlogn),
+			f2(float64(gksSt.InCircleTests) / nlogn),
+			i64(gksSt.Flips), it(gksSt.MaxLocateDepth), it(bt.Stats.DepDepth),
+			ms(btT), ms(gksT),
+		})
+	}
+	return t
+}

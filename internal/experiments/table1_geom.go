@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/bstsort"
+	"repro/internal/closestpair"
+	"repro/internal/core"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/lp"
+	"repro/internal/rng"
+	"repro/internal/seb"
+)
+
+// SortScaling reproduces Table 1 row "comparison sorting": O(n log n) work
+// and O(log n) depth whp. Columns: measured comparisons normalized by
+// n ln n (Corollary 2.4 bounds the constant by 2) and parallel rounds
+// (= tree height = dependence depth) normalized by H_n, with the
+// Theorem 2.1 threshold 2e² ≈ 14.8 as the whp ceiling.
+func SortScaling(seed uint64, sizes []int) *Table {
+	t := &Table{
+		Title: "Table 1 / sorting (Type 1): O(n log n) work, O(log n) depth",
+		Note: "cmp/(n ln n) should stay <= 2 (Cor 2.4); depth/H_n should stay well\n" +
+			"under 2e^2 = 14.8 (Thm 2.1 with k=2); seq and par are wall-clock.",
+		Headers: []string{"n", "comparisons", "cmp/(n ln n)", "depth", "depth/H_n", "seq ms", "par ms"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = r.Float64()
+		}
+		var seqSt, parSt bstsort.Stats
+		seqT := timed(func() { _, seqSt = bstsort.SeqInsert(keys) })
+		parT := timed(func() { _, parSt = bstsort.ParInsert(keys) })
+		nlogn := float64(n) * math.Log(float64(n))
+		t.Rows = append(t.Rows, []string{
+			it(n), i64(seqSt.Comparisons), f3(float64(seqSt.Comparisons) / nlogn),
+			it(parSt.Rounds), f2(float64(parSt.Rounds) / core.Hn(n)),
+			ms(seqT), ms(parT),
+		})
+	}
+	return t
+}
+
+// DelaunayScaling reproduces Table 1 row "Delaunay triangulation" for d=2:
+// O(n log n) work and polylogarithmic depth.
+func DelaunayScaling(seed uint64, sizes []int) *Table {
+	t := &Table{
+		Title: "Table 1 / Delaunay triangulation d=2 (Type 1): O(n log n) work, O(d log n log* n) depth",
+		Note: "InCircle/(n ln n) should stay <= 24 (Thm 4.5); depth/log2(n) flat\n" +
+			"(Thm 4.3); parallel and sequential do identical ReplaceBoundary calls.",
+		Headers: []string{"n", "InCircle", "IC/(n ln n)", "triangles", "depth", "depth/log2 n", "rounds", "seq ms", "par ms"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		pts := geom.Dedup(geom.UniformSquare(r, n))
+		var seqM, parM *delaunay.Mesh
+		seqT := timed(func() { seqM = delaunay.Triangulate(pts) })
+		parT := timed(func() { parM = delaunay.ParTriangulate(pts) })
+		nlogn := float64(n) * math.Log(float64(n))
+		t.Rows = append(t.Rows, []string{
+			it(n), i64(seqM.Stats.InCircleTests),
+			f2(float64(seqM.Stats.InCircleTests) / nlogn),
+			i64(seqM.Stats.TrianglesCreated),
+			it(parM.Stats.DepDepth), f2(float64(parM.Stats.DepDepth) / math.Log2(float64(n))),
+			it(parM.Stats.Rounds),
+			ms(seqT), ms(parT),
+		})
+	}
+	return t
+}
+
+// LPScaling reproduces Table 1 row "2D linear programming": O(n) work,
+// O(log n) depth.
+func LPScaling(seed uint64, sizes []int) *Table {
+	t := &Table{
+		Title: "Table 1 / 2D linear programming (Type 2): O(n) work, O(log n) depth",
+		Note: "work/n should be flat (Thm 5.1); special/(2 ln n) <= ~1 (backwards\n" +
+			"analysis: optimum defined by <= 2 constraints).",
+		Headers: []string{"n", "work", "work/n", "special", "spec/(2 ln n)", "sub-rounds", "seq ms", "par ms"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		cons := lp.TangentConstraints(r, n)
+		cx, cy := lp.RandomObjective(r)
+		var seqSt, parSt lp.Stats
+		seqT := timed(func() { _, seqSt = lp.Solve(cons, cx, cy) })
+		parT := timed(func() { _, parSt = lp.ParSolve(cons, cx, cy) })
+		work := seqSt.SideTests + seqSt.OneDimWork
+		t.Rows = append(t.Rows, []string{
+			it(n), i64(work), f3(float64(work) / float64(n)),
+			it(seqSt.Special), f2(float64(seqSt.Special) / (2 * math.Log(float64(n)))),
+			it(parSt.SubRounds),
+			ms(seqT), ms(parT),
+		})
+	}
+	return t
+}
+
+// ClosestPairScaling reproduces Table 1 row "2D closest pair": O(n) work,
+// O(log n log* n) depth.
+func ClosestPairScaling(seed uint64, sizes []int) *Table {
+	t := &Table{
+		Title: "Table 1 / 2D closest pair (Type 2): O(n) work, O(log n log* n) depth",
+		Note: "work/n flat (Thm 5.2); rebuilds/(2 ln n) <= ~1; d&c is the\n" +
+			"deterministic O(n log n) divide-and-conquer baseline.",
+		Headers: []string{"n", "work", "work/n", "rebuilds", "rb/(2 ln n)", "sub-rounds", "seq ms", "par ms", "d&c ms"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		pts := geom.Dedup(geom.UniformSquare(r, n))
+		var seqSt, parSt closestpair.Stats
+		seqT := timed(func() { _, seqSt = closestpair.Incremental(pts) })
+		parT := timed(func() { _, parSt = closestpair.ParIncremental(pts) })
+		dcT := timed(func() { closestpair.DivideAndConquer(pts) })
+		work := seqSt.DistChecks + seqSt.CellProbes
+		t.Rows = append(t.Rows, []string{
+			it(len(pts)), i64(work), f3(float64(work) / float64(n)),
+			it(seqSt.Special), f2(float64(seqSt.Special) / (2 * math.Log(float64(n)))),
+			it(parSt.SubRounds),
+			ms(seqT), ms(parT), ms(dcT),
+		})
+	}
+	return t
+}
+
+// SEBScaling reproduces Table 1 row "smallest enclosing disk": O(n) work,
+// O(log² n) depth.
+func SEBScaling(seed uint64, sizes []int) *Table {
+	t := &Table{
+		Title: "Table 1 / smallest enclosing disk (Type 2): O(n) work, O(log^2 n) depth",
+		Note: "tests/n flat (Thm 5.3); special/(3 ln n) <= ~1 (the boundary is\n" +
+			"defined by <= 3 points).",
+		Headers: []string{"n", "in-disk tests", "tests/n", "special", "spec/(3 ln n)", "update2", "sub-rounds", "seq ms", "par ms"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		pts := geom.UniformDisk(r, n)
+		var seqSt, parSt seb.Stats
+		seqT := timed(func() { _, seqSt = seb.Incremental(pts) })
+		parT := timed(func() { _, parSt = seb.ParIncremental(pts) })
+		t.Rows = append(t.Rows, []string{
+			it(n), i64(seqSt.InDiskTests), f3(float64(seqSt.InDiskTests) / float64(n)),
+			it(seqSt.Special), f2(float64(seqSt.Special) / (3 * math.Log(float64(n)))),
+			i64(seqSt.Update2Calls), it(parSt.SubRounds),
+			ms(seqT), ms(parT),
+		})
+	}
+	return t
+}
+
+// InCircleConstant reproduces Theorem 4.5 in isolation: the expected number
+// of InCircle tests for 2D incremental Delaunay is at most 24 n ln n + O(n).
+// Several trials per n give the empirical constant.
+func InCircleConstant(seed uint64, sizes []int, trials int) *Table {
+	t := &Table{
+		Title:   "Theorem 4.5: InCircle tests <= 24 n ln n + O(n) in expectation (d=2)",
+		Note:    "the empirical constant (avg IC / (n ln n)) must stay below 24.",
+		Headers: []string{"n", "trials", "avg InCircle", "avg/(n ln n)", "max/(n ln n)"},
+	}
+	r := rng.New(seed)
+	for _, n := range sizes {
+		var sum int64
+		maxRatio := 0.0
+		for trial := 0; trial < trials; trial++ {
+			pts := geom.Dedup(geom.UniformSquare(r.Split(), n))
+			m := delaunay.Triangulate(pts)
+			sum += m.Stats.InCircleTests
+			ratio := float64(m.Stats.InCircleTests) / (float64(n) * math.Log(float64(n)))
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+		avg := float64(sum) / float64(trials)
+		t.Rows = append(t.Rows, []string{
+			it(n), it(trials), f2(avg),
+			f2(avg / (float64(n) * math.Log(float64(n)))), f2(maxRatio),
+		})
+	}
+	return t
+}

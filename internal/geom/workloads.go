@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// UniformSquare returns n points drawn uniformly from the unit square.
+func UniformSquare(r *rng.RNG, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	return pts
+}
+
+// UniformDisk returns n points drawn uniformly from the unit disk.
+func UniformDisk(r *rng.RNG, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		theta := 2 * math.Pi * r.Float64()
+		rad := math.Sqrt(r.Float64())
+		pts[i] = Point{rad * math.Cos(theta), rad * math.Sin(theta)}
+	}
+	return pts
+}
+
+// OnCircle returns n points on the unit circle with small radial jitter;
+// with jitter = 0 the configuration is adversarial for incircle precision
+// (all points nearly cocircular), exercising the exact-arithmetic fallback.
+func OnCircle(r *rng.RNG, n int, jitter float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		theta := 2 * math.Pi * r.Float64()
+		rad := 1 + jitter*(r.Float64()-0.5)
+		pts[i] = Point{rad * math.Cos(theta), rad * math.Sin(theta)}
+	}
+	return pts
+}
+
+// GridJitter returns roughly n points on a jittered sqrt(n) x sqrt(n) grid,
+// the "mesh-like" workload for Delaunay experiments.
+func GridJitter(r *rng.RNG, n int, jitter float64) []Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	pts := make([]Point, 0, side*side)
+	step := 1.0 / float64(side)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			if len(pts) == n {
+				return pts
+			}
+			pts = append(pts, Point{
+				X: (float64(i) + 0.5 + jitter*(r.Float64()-0.5)) * step,
+				Y: (float64(j) + 0.5 + jitter*(r.Float64()-0.5)) * step,
+			})
+		}
+	}
+	return pts
+}
+
+// GaussianCluster returns n points from k Gaussian clusters in the unit
+// square, a clustered workload for closest-pair experiments.
+func GaussianCluster(r *rng.RNG, n, k int, sigma float64) []Point {
+	centers := UniformSquare(r, k)
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[r.Intn(k)]
+		pts[i] = Point{c.X + sigma*r.NormFloat64(), c.Y + sigma*r.NormFloat64()}
+	}
+	return pts
+}
+
+// BoundingTriangle returns a triangle that contains all points with a
+// comfortable margin, used as the initial triangle t_b of Algorithm 4.
+// Its corners are far enough away that every input circumcircle test
+// against them behaves as if the corners were at infinity.
+func BoundingTriangle(pts []Point) (a, b, c Point) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if len(pts) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	w := math.Max(maxX-minX, maxY-minY)
+	if w == 0 {
+		w = 1
+	}
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	// A triangle at distance ~50w comfortably contains the circumcircles of
+	// all triangles formed by input points.
+	const m = 50
+	a = Point{cx - m*w, cy - m*w}
+	b = Point{cx + m*w, cy - m*w}
+	c = Point{cx, cy + m*w}
+	return a, b, c
+}
+
+// Dedup returns pts with exact duplicates removed (order preserved).
+// The incremental algorithms assume distinct points.
+func Dedup(pts []Point) []Point {
+	seen := make(map[Point]struct{}, len(pts))
+	out := pts[:0:0]
+	for _, p := range pts {
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}

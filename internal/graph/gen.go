@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"repro/internal/rng"
+)
+
+// GnmDirected returns a uniform random directed multigraph with n vertices
+// and m edges (self-loops excluded). Weighted edges get uniform weights in
+// [1, 2) to keep SSSP well-conditioned.
+func GnmDirected(r *rng.RNG, n, m int, weighted bool) *Graph {
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{From: u, To: v, W: 1 + r.Float64()})
+	}
+	return FromEdges(n, edges, weighted)
+}
+
+// GnmUndirected returns a uniform random undirected graph (both edge
+// directions present) with n vertices and m undirected edges.
+func GnmUndirected(r *rng.RNG, n, m int, weighted bool) *Graph {
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{From: u, To: v, W: 1 + r.Float64()})
+	}
+	return Symmetrize(n, edges, weighted)
+}
+
+// Grid2D returns the rows x cols undirected grid graph (4-neighborhood),
+// the "road-network-like" workload: high diameter, constant degree.
+func Grid2D(rows, cols int, weighted bool, r *rng.RNG) *Graph {
+	id := func(i, j int) int { return i*cols + j }
+	var edges []Edge
+	w := func() float64 {
+		if r == nil {
+			return 1
+		}
+		return 1 + r.Float64()
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i+1 < rows {
+				edges = append(edges, Edge{From: id(i, j), To: id(i+1, j), W: w()})
+			}
+			if j+1 < cols {
+				edges = append(edges, Edge{From: id(i, j), To: id(i, j+1), W: w()})
+			}
+		}
+	}
+	return Symmetrize(rows*cols, edges, weighted)
+}
+
+// PowerLawDirected returns a directed graph with a skewed out-degree
+// distribution (preferential-attachment-like targets), the "web/social"
+// workload for SCC: one giant SCC plus many small ones.
+func PowerLawDirected(r *rng.RNG, n, avgDeg int) *Graph {
+	m := n * avgDeg
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u := r.Intn(n)
+		// Preferential-ish target: square the uniform to skew low ids hot.
+		f := r.Float64()
+		v := int(f * f * float64(n))
+		if v >= n {
+			v = n - 1
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{From: u, To: v, W: 1})
+	}
+	return FromEdges(n, edges, false)
+}
+
+// CycleChords returns a directed n-cycle plus k random chord edges: a graph
+// that is one big SCC with internal structure, stressing reachability depth.
+func CycleChords(r *rng.RNG, n, k int) *Graph {
+	edges := make([]Edge, 0, n+k)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{From: i, To: (i + 1) % n, W: 1})
+	}
+	for j := 0; j < k; j++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{From: u, To: v, W: 1})
+		}
+	}
+	return FromEdges(n, edges, false)
+}
+
+// PlantedSCC returns a directed graph with `comps` planted strongly
+// connected components (directed cycles through each component's vertices)
+// joined by a random DAG of cross edges, so the true SCC decomposition is
+// known by construction. Returns the graph and the ground-truth component
+// id per vertex.
+func PlantedSCC(r *rng.RNG, n, comps, crossEdges int) (*Graph, []int) {
+	if comps < 1 {
+		comps = 1
+	}
+	if comps > n {
+		comps = n
+	}
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = r.Intn(comps)
+	}
+	// Ensure every component is non-empty by seeding one vertex each.
+	perm := rng.New(r.Uint64()).Perm(n)
+	for c := 0; c < comps; c++ {
+		owner[perm[c]] = c
+	}
+	members := make([][]int, comps)
+	for v, c := range owner {
+		members[c] = append(members[c], v)
+	}
+	var edges []Edge
+	for _, ms := range members {
+		if len(ms) <= 1 {
+			continue
+		}
+		rng.ShuffleSlice(r, ms)
+		for i := range ms {
+			edges = append(edges, Edge{From: ms[i], To: ms[(i+1)%len(ms)], W: 1})
+		}
+	}
+	// Cross edges only from lower component id to higher: a DAG between
+	// components, so components are exactly the SCCs.
+	for j := 0; j < crossEdges; j++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if owner[u] < owner[v] {
+			edges = append(edges, Edge{From: u, To: v, W: 1})
+		} else if owner[v] < owner[u] {
+			edges = append(edges, Edge{From: v, To: u, W: 1})
+		}
+	}
+	return FromEdges(n, edges, false), owner
+}
+
+// ChainDAG returns a path DAG v0 -> v1 -> ... -> v_{n-1}: every SCC is a
+// singleton and reachability searches are maximally unbalanced. This is the
+// adversarial input for naive parallel SCC depth.
+func ChainDAG(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{From: i, To: i + 1, W: 1})
+	}
+	return FromEdges(n, edges, false)
+}

@@ -1,0 +1,135 @@
+// Package graph provides the graph substrate for the Type 3 algorithms:
+// a compressed-sparse-row representation, synthetic generators, and the
+// single-source shortest path and reachability subroutines that the paper
+// treats as black boxes with cost W_SP/D_SP and W_R/D_R.
+package graph
+
+import "fmt"
+
+// Edge is a directed, optionally weighted edge.
+type Edge struct {
+	From, To int
+	W        float64
+}
+
+// Graph is a directed graph in CSR form. For the undirected algorithms
+// (LE-lists on symmetric inputs) both edge directions are present.
+// Weights are per out-edge and non-negative; an unweighted graph has
+// Weights == nil and every edge has implicit weight 1.
+type Graph struct {
+	N       int
+	Off     []int32 // len N+1; out-neighbors of u are Adj[Off[u]:Off[u+1]]
+	Adj     []int32
+	Weights []float64 // nil for unweighted; else parallel to Adj
+
+	// Reverse adjacency (in-neighbors), built on demand by Reverse.
+	rOff []int32
+	rAdj []int32
+}
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.Adj) }
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.Weights != nil }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u int) int { return int(g.Off[u+1] - g.Off[u]) }
+
+// Out returns the out-neighbor slice of u. The caller must not modify it.
+func (g *Graph) Out(u int) []int32 { return g.Adj[g.Off[u]:g.Off[u+1]] }
+
+// OutW returns u's out-neighbors and their weights. Weights is nil for
+// unweighted graphs.
+func (g *Graph) OutW(u int) ([]int32, []float64) {
+	lo, hi := g.Off[u], g.Off[u+1]
+	if g.Weights == nil {
+		return g.Adj[lo:hi], nil
+	}
+	return g.Adj[lo:hi], g.Weights[lo:hi]
+}
+
+// FromEdges builds a CSR graph with n vertices from the given directed
+// edges. Duplicate edges and self-loops are kept as given. Weighted
+// indicates whether the edges' W fields are meaningful.
+func FromEdges(n int, edges []Edge, weighted bool) *Graph {
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.From, e.To, n))
+		}
+	}
+	off := make([]int32, n+1)
+	for _, e := range edges {
+		off[e.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	adj := make([]int32, len(edges))
+	var w []float64
+	if weighted {
+		w = make([]float64, len(edges))
+	}
+	pos := make([]int32, n)
+	copy(pos, off[:n])
+	for _, e := range edges {
+		p := pos[e.From]
+		adj[p] = int32(e.To)
+		if weighted {
+			w[p] = e.W
+		}
+		pos[e.From]++
+	}
+	return &Graph{N: n, Off: off, Adj: adj, Weights: w}
+}
+
+// Symmetrize returns a graph with both directions of every edge (weights
+// duplicated), making the input effectively undirected.
+func Symmetrize(n int, edges []Edge, weighted bool) *Graph {
+	sym := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		sym = append(sym, e, Edge{From: e.To, To: e.From, W: e.W})
+	}
+	return FromEdges(n, sym, weighted)
+}
+
+// Reverse returns the in-neighbor slice of u, building the reverse CSR on
+// first use. Not safe for concurrent first call; call EnsureReverse once
+// before parallel use.
+func (g *Graph) Reverse(u int) []int32 {
+	g.EnsureReverse()
+	return g.rAdj[g.rOff[u]:g.rOff[u+1]]
+}
+
+// EnsureReverse builds the reverse adjacency structure if absent.
+func (g *Graph) EnsureReverse() {
+	if g.rOff != nil {
+		return
+	}
+	n := g.N
+	rOff := make([]int32, n+1)
+	for _, v := range g.Adj {
+		rOff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		rOff[i+1] += rOff[i]
+	}
+	rAdj := make([]int32, len(g.Adj))
+	pos := make([]int32, n)
+	copy(pos, rOff[:n])
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			rAdj[pos[v]] = int32(u)
+			pos[v]++
+		}
+	}
+	g.rOff, g.rAdj = rOff, rAdj
+}
+
+// Neighbors returns out- or in-neighbors of u depending on dir.
+func (g *Graph) Neighbors(u int, forward bool) []int32 {
+	if forward {
+		return g.Out(u)
+	}
+	return g.Reverse(u)
+}

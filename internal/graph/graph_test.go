@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFromEdgesCSR(t *testing.T) {
+	edges := []Edge{{0, 1, 1}, {0, 2, 2}, {1, 2, 3}, {2, 0, 4}}
+	g := FromEdges(3, edges, true)
+	if g.M() != 4 {
+		t.Fatalf("m=%d", g.M())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 1 || g.OutDegree(2) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	adj, w := g.OutW(0)
+	if len(adj) != 2 || w[0]+w[1] != 3 {
+		t.Fatal("out edges of 0 wrong")
+	}
+	if !g.Weighted() {
+		t.Fatal("should be weighted")
+	}
+}
+
+func TestFromEdgesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromEdges(2, []Edge{{0, 5, 1}}, false)
+}
+
+func TestReverse(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1, 1}, {2, 1, 1}, {3, 1, 1}, {1, 0, 1}}, false)
+	in := g.Reverse(1)
+	if len(in) != 3 {
+		t.Fatalf("in-degree of 1 = %d", len(in))
+	}
+	seen := map[int32]bool{}
+	for _, u := range in {
+		seen[u] = true
+	}
+	if !seen[0] || !seen[2] || !seen[3] {
+		t.Fatalf("in-neighbors wrong: %v", in)
+	}
+	if len(g.Reverse(3)) != 0 {
+		t.Fatal("vertex 3 has no in-edges")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := Symmetrize(3, []Edge{{0, 1, 5}}, true)
+	if g.M() != 2 || g.OutDegree(0) != 1 || g.OutDegree(1) != 1 {
+		t.Fatal("symmetrize failed")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Path 0-1-2-3 (undirected).
+	g := Symmetrize(4, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}, false)
+	d := FullSSSP(g, 0)
+	for i, want := range []float64{0, 1, 2, 3} {
+		if d[i] != want {
+			t.Fatalf("d[%d]=%v want %v", i, d[i], want)
+		}
+	}
+}
+
+func TestDijkstraDistances(t *testing.T) {
+	// Weighted triangle where the two-hop path is shorter.
+	edges := []Edge{{0, 1, 10}, {0, 2, 3}, {2, 1, 3}}
+	g := FromEdges(3, edges, true)
+	d := FullSSSP(g, 0)
+	if d[1] != 6 || d[2] != 3 {
+		t.Fatalf("d=%v", d)
+	}
+}
+
+func TestDijkstraVsBFSOnUnitWeights(t *testing.T) {
+	r := rng.New(1)
+	edges := make([]Edge, 0, 600)
+	for len(edges) < 600 {
+		u, v := r.Intn(100), r.Intn(100)
+		if u != v {
+			edges = append(edges, Edge{From: u, To: v, W: 1})
+		}
+	}
+	gu := FromEdges(100, edges, false)
+	gw := FromEdges(100, edges, true)
+	du, dw := FullSSSP(gu, 0), FullSSSP(gw, 0)
+	for i := range du {
+		if du[i] != dw[i] {
+			t.Fatalf("vertex %d: BFS %v vs Dijkstra %v", i, du[i], dw[i])
+		}
+	}
+}
+
+func TestPrunedSearchBound(t *testing.T) {
+	// With bound 2.5 only vertices at distance < 2.5 are visited.
+	g := Symmetrize(5, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}}, false)
+	visits, _ := PrunedBFS(g, 0, func(u int) float64 { return 2.5 })
+	if len(visits) != 3 { // 0, 1, 2
+		t.Fatalf("visits=%v", visits)
+	}
+	// Bound 0 at the source: nothing visited.
+	visits, _ = PrunedBFS(g, 0, func(u int) float64 { return 0 })
+	if len(visits) != 0 {
+		t.Fatal("source with bound 0 must not be visited")
+	}
+}
+
+func TestPrunedDijkstraHeterogeneousBound(t *testing.T) {
+	// A pruned vertex must not relax its out-edges even when it would give
+	// a shorter path: bounds block vertex 1, so 2 is reached the long way.
+	edges := []Edge{{0, 1, 1}, {1, 2, 1}, {0, 2, 5}}
+	g := FromEdges(3, edges, true)
+	bound := func(u int) float64 {
+		if u == 1 {
+			return 0.5 // vertex 1 blocked
+		}
+		return math.Inf(1)
+	}
+	visits, _ := PrunedDijkstra(g, 0, bound)
+	var d2 float64 = -1
+	for _, v := range visits {
+		if v.Target == 1 {
+			t.Fatal("vertex 1 should be pruned")
+		}
+		if v.Target == 2 {
+			d2 = v.Dist
+		}
+	}
+	if d2 != 5 {
+		t.Fatalf("d(2)=%v want 5 (the unpruned path)", d2)
+	}
+}
+
+func TestReachFrom(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}}, false)
+	var got []int
+	n, _ := ReachFrom(g, 0, true, func(int) bool { return true }, func(u int) { got = append(got, u) })
+	if n != 3 {
+		t.Fatalf("forward reach = %d, want 3", n)
+	}
+	got = nil
+	n, _ = ReachFrom(g, 2, false, func(int) bool { return true }, func(u int) { got = append(got, u) })
+	if n != 3 {
+		t.Fatalf("backward reach = %d, want 3", n)
+	}
+	// Restriction test: exclude vertex 1 — forward reach from 0 is just 0.
+	n, _ = ReachFrom(g, 0, true, func(u int) bool { return u != 1 }, func(int) {})
+	if n != 1 {
+		t.Fatalf("restricted reach = %d, want 1", n)
+	}
+	// Source excluded.
+	n, _ = ReachFrom(g, 0, true, func(u int) bool { return false }, func(int) {})
+	if n != 0 {
+		t.Fatal("excluded source must not be visited")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	r := rng.New(2)
+	if g := GnmDirected(r, 50, 200, true); g.N != 50 || g.M() != 200 || !g.Weighted() {
+		t.Fatal("GnmDirected shape")
+	}
+	if g := GnmUndirected(r, 50, 200, false); g.M() != 400 {
+		t.Fatal("GnmUndirected should have both directions")
+	}
+	if g := Grid2D(5, 7, false, nil); g.N != 35 || g.M() != 2*(4*7+5*6) {
+		t.Fatalf("grid m=%d", Grid2D(5, 7, false, nil).M())
+	}
+	if g := ChainDAG(10); g.M() != 9 {
+		t.Fatal("chain")
+	}
+	if g := CycleChords(r, 20, 5); g.N != 20 || g.M() < 20 {
+		t.Fatal("cycle chords")
+	}
+	if g := PowerLawDirected(r, 100, 3); g.N != 100 || g.M() != 300 {
+		t.Fatal("power law")
+	}
+}
+
+func TestPlantedSCCGroundTruth(t *testing.T) {
+	r := rng.New(3)
+	g, truth := PlantedSCC(r, 100, 7, 300)
+	if g.N != 100 || len(truth) != 100 {
+		t.Fatal("planted shape")
+	}
+	comps := map[int]bool{}
+	for _, c := range truth {
+		comps[c] = true
+	}
+	if len(comps) != 7 {
+		t.Fatalf("planted %d components, want 7", len(comps))
+	}
+	// Every pair within a component must be mutually reachable.
+	members := map[int][]int{}
+	for v, c := range truth {
+		members[c] = append(members[c], v)
+	}
+	for _, ms := range members {
+		src := ms[0]
+		reached := map[int]bool{}
+		ReachFrom(g, src, true, func(int) bool { return true }, func(u int) { reached[u] = true })
+		for _, v := range ms {
+			if !reached[v] {
+				t.Fatalf("vertex %d not forward-reachable within its planted component", v)
+			}
+		}
+	}
+}
+
+func TestGrid2DWeighted(t *testing.T) {
+	g := Grid2D(3, 3, true, rng.New(4))
+	if !g.Weighted() {
+		t.Fatal("weighted grid should carry weights")
+	}
+	for _, w := range g.Weights {
+		if w < 1 || w >= 2 {
+			t.Fatalf("weight %v out of [1,2)", w)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package graph
+
+import "repro/internal/rng"
+
+// Relabel returns a copy of g with vertices renamed by perm: vertex v
+// becomes perm[v]. The incremental graph algorithms process vertices in
+// index order, so relabeling with a random permutation realizes the
+// uniformly random priority order their analyses assume — required for
+// structured inputs (grids, meshes) whose natural ids are not random.
+func Relabel(g *Graph, perm []int) *Graph {
+	if len(perm) != g.N {
+		panic("graph: permutation length mismatch")
+	}
+	edges := make([]Edge, 0, g.M())
+	for u := 0; u < g.N; u++ {
+		adj, ws := g.OutW(u)
+		for k, v := range adj {
+			e := Edge{From: perm[u], To: perm[int(v)]}
+			if ws != nil {
+				e.W = ws[k]
+			}
+			edges = append(edges, e)
+		}
+	}
+	return FromEdges(g.N, edges, g.Weighted())
+}
+
+// RandomRelabel relabels g with a uniformly random permutation drawn from r
+// and returns the relabeled graph together with the permutation used
+// (perm[old] = new).
+func RandomRelabel(g *Graph, r *rng.RNG) (*Graph, []int) {
+	perm := r.Perm(g.N)
+	return Relabel(g, perm), perm
+}

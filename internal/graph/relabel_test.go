@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	r := rng.New(1)
+	g := GnmDirected(r, 40, 160, true)
+	perm := r.Perm(40)
+	h := Relabel(g, perm)
+	if h.N != g.N || h.M() != g.M() {
+		t.Fatal("relabel changed size")
+	}
+	// Distances must be preserved under the relabeling.
+	for src := 0; src < 5; src++ {
+		dg := FullSSSP(g, src)
+		dh := FullSSSP(h, perm[src])
+		for v := 0; v < g.N; v++ {
+			if dg[v] != dh[perm[v]] {
+				t.Fatalf("distance (%d,%d) changed: %v vs %v", src, v, dg[v], dh[perm[v]])
+			}
+		}
+	}
+}
+
+func TestRelabelPanicsOnBadPerm(t *testing.T) {
+	g := ChainDAG(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Relabel(g, []int{0, 1})
+}
+
+func TestRandomRelabelIsPermutation(t *testing.T) {
+	g := Grid2D(6, 6, false, nil)
+	h, perm := RandomRelabel(g, rng.New(2))
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+	if h.M() != g.M() {
+		t.Fatal("edge count changed")
+	}
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Visit is one source-target-distance triple produced by a pruned search,
+// the output format the paper's LE-list combine step consumes.
+type Visit struct {
+	Target int
+	Dist   float64
+}
+
+// PrunedBFS runs a breadth-first search from src on the unweighted graph,
+// visiting a vertex u only if the discovered distance is strictly less than
+// bound(u). It returns the visits (including src if 0 < bound(src)) and the
+// number of edges scanned (the work counter W_SP).
+//
+// This is Line 3 of the paper's Algorithm 6 with the tentative-distance
+// initialization dropped: the search is pruned by the δ values from earlier
+// iterations, so it only explores S and its out-edges.
+func PrunedBFS(g *Graph, src int, bound func(u int) float64) (visits []Visit, edgesScanned int64) {
+	if !(0 < bound(src)) {
+		return nil, 0
+	}
+	dist := map[int]int{src: 0}
+	frontier := []int{src}
+	visits = append(visits, Visit{Target: src, Dist: 0})
+	d := 0
+	for len(frontier) > 0 {
+		d++
+		var next []int
+		for _, u := range frontier {
+			for _, vi := range g.Out(u) {
+				edgesScanned++
+				v := int(vi)
+				if _, seen := dist[v]; seen {
+					continue
+				}
+				if float64(d) < bound(v) {
+					dist[v] = d
+					next = append(next, v)
+					visits = append(visits, Visit{Target: v, Dist: float64(d)})
+				}
+			}
+		}
+		frontier = next
+	}
+	return visits, edgesScanned
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v int
+	d float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// PrunedDijkstra runs Dijkstra from src on the weighted graph, visiting a
+// vertex u only while its tentative distance is strictly below bound(u).
+// Returns visits in non-decreasing distance order and the relaxation count.
+func PrunedDijkstra(g *Graph, src int, bound func(u int) float64) (visits []Visit, relaxations int64) {
+	if !(0 < bound(src)) {
+		return nil, 0
+	}
+	dist := map[int]float64{src: 0}
+	settled := map[int]bool{}
+	q := &pq{{v: src, d: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u, du := it.v, it.d
+		if settled[u] || du > dist[u] {
+			continue
+		}
+		settled[u] = true
+		visits = append(visits, Visit{Target: u, Dist: du})
+		adj, ws := g.OutW(u)
+		for k, vi := range adj {
+			relaxations++
+			v := int(vi)
+			w := 1.0
+			if ws != nil {
+				w = ws[k]
+			}
+			nd := du + w
+			if nd >= bound(v) {
+				continue
+			}
+			if old, ok := dist[v]; ok && old <= nd {
+				continue
+			}
+			dist[v] = nd
+			heap.Push(q, pqItem{v: v, d: nd})
+		}
+	}
+	return visits, relaxations
+}
+
+// PrunedSearch dispatches to PrunedBFS or PrunedDijkstra based on whether g
+// is weighted; it is the SSSP black box of Section 6.1.
+func PrunedSearch(g *Graph, src int, bound func(u int) float64) ([]Visit, int64) {
+	if g.Weighted() {
+		return PrunedDijkstra(g, src, bound)
+	}
+	return PrunedBFS(g, src, bound)
+}
+
+// FullSSSP returns the distance array from src with no pruning (+Inf when
+// unreachable). Used as a test oracle.
+func FullSSSP(g *Graph, src int) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	visits, _ := PrunedSearch(g, src, func(int) float64 { return math.Inf(1) })
+	for _, v := range visits {
+		dist[v.Target] = v.Dist
+	}
+	return dist
+}
+
+// ReachFrom performs a reachability search from src restricted to vertices
+// for which in(u) is true, in the forward or backward direction. It calls
+// visit(u) for every reached vertex (including src when in(src)) and
+// returns the number of vertices reached and edges scanned. visit is called
+// exactly once per reached vertex; the caller may use it to mark state.
+func ReachFrom(g *Graph, src int, forward bool, in func(u int) bool, visit func(u int)) (reached int, edgesScanned int64) {
+	if !in(src) {
+		return 0, 0
+	}
+	if !forward {
+		g.EnsureReverse()
+	}
+	seen := map[int]bool{src: true}
+	stack := []int{src}
+	visit(src)
+	reached = 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, vi := range g.Neighbors(u, forward) {
+			edgesScanned++
+			v := int(vi)
+			if seen[v] || !in(v) {
+				continue
+			}
+			seen[v] = true
+			visit(v)
+			reached++
+			stack = append(stack, v)
+		}
+	}
+	return reached, edgesScanned
+}

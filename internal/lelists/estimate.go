@@ -1,0 +1,149 @@
+package lelists
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// This file implements Cohen's size-estimation framework — the application
+// LE-lists were invented for (Cohen, JCSS 1997; the paper's Section 6.1
+// motivation): estimate the neighborhood sizes |N(v, r)| = |{u : d(v,u) <=
+// r}| for all v and any r, from a few LE-list constructions, without ever
+// materializing the neighborhoods.
+//
+// Each run assigns every vertex an independent Exp(1) rank and builds
+// LE-lists with vertices ordered by increasing rank. The minimum rank
+// within N(v, r) is then Exp(|N(v, r)|)-distributed and readable from
+// L(v): it is the first list entry (in priority order) with distance <= r.
+// Averaging ell runs gives the unbiased estimator (ell-1) / Σ minranks with
+// relative standard error ~ 1/sqrt(ell-2).
+
+// SizeEstimator answers approximate neighborhood-size queries.
+type SizeEstimator struct {
+	n    int
+	runs []estRun
+	ell  int
+}
+
+type estRun struct {
+	rankOf []float64 // rank value per relabeled vertex id
+	lists  Lists     // LE-lists in the relabeled id space
+	newID  []int     // original vertex -> relabeled id
+}
+
+// NewSizeEstimator builds an estimator from ell independent LE-list
+// constructions over g (ell >= 3). Construction cost is ell times one
+// parallel LE-list build.
+func NewSizeEstimator(g *graph.Graph, seed uint64, ell int) *SizeEstimator {
+	if ell < 3 {
+		panic("lelists: need at least 3 runs for the unbiased estimator")
+	}
+	root := rng.New(seed)
+	est := &SizeEstimator{n: g.N, ell: ell}
+	est.runs = make([]estRun, ell)
+	seeds := make([]uint64, ell)
+	for j := range seeds {
+		seeds[j] = root.Uint64()
+	}
+	parallel.ForGrain(0, ell, 1, func(j int) {
+		r := rng.New(seeds[j])
+		n := g.N
+		// Draw Exp(1) ranks and sort vertices by rank: the sorted position
+		// is the vertex's priority (index) in the LE-list construction.
+		rank := make([]float64, n)
+		order := make([]int, n)
+		for v := 0; v < n; v++ {
+			rank[v] = r.Exp(1)
+			order[v] = v
+		}
+		// Sort vertex ids by rank ascending.
+		sortByRank(order, rank)
+		newID := make([]int, n)
+		rankOf := make([]float64, n)
+		for pos, v := range order {
+			newID[v] = pos
+			rankOf[pos] = rank[v]
+		}
+		h := graph.Relabel(g, newID)
+		lists, _ := Parallel(h)
+		est.runs[j] = estRun{rankOf: rankOf, lists: lists, newID: newID}
+	})
+	return est
+}
+
+func sortByRank(order []int, rank []float64) {
+	// Simple quicksort specialized to avoid an interface-based sort in the
+	// hot construction path.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			p := rank[order[(lo+hi)/2]]
+			i, j := lo, hi-1
+			for i <= j {
+				for rank[order[i]] < p {
+					i++
+				}
+				for rank[order[j]] > p {
+					j--
+				}
+				if i <= j {
+					order[i], order[j] = order[j], order[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j+1)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j + 1
+			}
+		}
+		for i := lo + 1; i < hi; i++ {
+			for k := i; k > lo && rank[order[k]] < rank[order[k-1]]; k-- {
+				order[k], order[k-1] = order[k-1], order[k]
+			}
+		}
+	}
+	qs(0, len(order))
+}
+
+// minRankWithin returns the minimum rank among vertices within distance r
+// of v in one run: the first entry of L(v) (priority order) at distance
+// <= r. The list always contains v itself at distance 0.
+func (run *estRun) minRankWithin(v int, r float64) float64 {
+	l := run.lists[run.newID[v]]
+	for _, e := range l {
+		if e.Dist <= r {
+			return run.rankOf[e.V]
+		}
+	}
+	// Unreachable for r >= 0 since (v, 0) is always in the list.
+	return math.Inf(1)
+}
+
+// Estimate returns the estimated size of N(v, r) = {u : d(v,u) <= r}.
+func (e *SizeEstimator) Estimate(v int, r float64) float64 {
+	sum := 0.0
+	for j := range e.runs {
+		sum += e.runs[j].minRankWithin(v, r)
+	}
+	return float64(e.ell-1) / sum
+}
+
+// TrueNeighborhoodSize computes |N(v, r)| exactly with one SSSP; O(m log n).
+// Test oracle and accuracy baseline.
+func TrueNeighborhoodSize(g *graph.Graph, v int, r float64) int {
+	dist := graph.FullSSSP(g, v)
+	count := 0
+	for _, d := range dist {
+		if d <= r {
+			count++
+		}
+	}
+	return count
+}

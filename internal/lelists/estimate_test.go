@@ -1,0 +1,88 @@
+package lelists
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSizeEstimatorAccuracy(t *testing.T) {
+	// On a weighted grid, neighborhood-size estimates from 64 runs should
+	// land within ~35% of the truth on average (stderr ≈ 1/sqrt(62) ≈ 13%,
+	// so 35% mean relative error would indicate a bug, not noise).
+	g := graph.Grid2D(20, 20, true, rng.New(1))
+	est := NewSizeEstimator(g, 7, 64)
+	var relErrSum float64
+	samples := 0
+	for _, v := range []int{0, 57, 199, 350} {
+		for _, r := range []float64{2, 5, 10} {
+			truth := float64(TrueNeighborhoodSize(g, v, r))
+			got := est.Estimate(v, r)
+			relErrSum += math.Abs(got-truth) / truth
+			samples++
+		}
+	}
+	if mean := relErrSum / float64(samples); mean > 0.35 {
+		t.Fatalf("mean relative error %.2f too large", mean)
+	}
+}
+
+func TestSizeEstimatorSelfNeighborhood(t *testing.T) {
+	// With r = 0 the neighborhood is {v} (distinct positive weights), so
+	// the estimate should be near 1.
+	g := graph.Grid2D(10, 10, true, rng.New(2))
+	est := NewSizeEstimator(g, 3, 48)
+	for _, v := range []int{0, 42, 99} {
+		got := est.Estimate(v, 0)
+		if got < 0.4 || got > 2.5 {
+			t.Fatalf("v=%d: estimate of singleton neighborhood = %.2f", v, got)
+		}
+	}
+}
+
+func TestSizeEstimatorWholeGraph(t *testing.T) {
+	// r = infinity covers the whole (connected) component.
+	g := graph.Grid2D(12, 12, true, rng.New(3))
+	est := NewSizeEstimator(g, 5, 64)
+	truth := float64(g.N)
+	got := est.Estimate(30, math.Inf(1))
+	if math.Abs(got-truth)/truth > 0.4 {
+		t.Fatalf("whole-graph estimate %.1f vs %d", got, g.N)
+	}
+}
+
+func TestSizeEstimatorDisconnected(t *testing.T) {
+	// The estimate must not leak across components.
+	edges := []graph.Edge{{From: 0, To: 1, W: 1}, {From: 2, To: 3, W: 1}}
+	g := graph.Symmetrize(4, edges, true)
+	est := NewSizeEstimator(g, 9, 64)
+	got := est.Estimate(0, math.Inf(1))
+	if got > 4 {
+		t.Fatalf("estimate %.2f exceeds component size bound", got)
+	}
+	if got < 0.8 {
+		t.Fatalf("estimate %.2f implausibly small for a 2-vertex component", got)
+	}
+}
+
+func TestSizeEstimatorPanicsOnFewRuns(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ell < 3")
+		}
+	}()
+	NewSizeEstimator(graph.ChainDAG(4), 1, 2)
+}
+
+func TestTrueNeighborhoodSize(t *testing.T) {
+	// Path 0-1-2-3 with unit weights.
+	g := graph.Symmetrize(4, []graph.Edge{{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1}, {From: 2, To: 3, W: 1}}, true)
+	if got := TrueNeighborhoodSize(g, 0, 1.5); got != 2 {
+		t.Fatalf("N(0,1.5)=%d want 2", got)
+	}
+	if got := TrueNeighborhoodSize(g, 1, 1); got != 3 {
+		t.Fatalf("N(1,1)=%d want 3", got)
+	}
+}

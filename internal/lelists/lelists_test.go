@@ -1,0 +1,191 @@
+package lelists
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSequentialMatchesBruteForceUnweighted(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + r.Intn(60)
+		g := graph.GnmUndirected(r, n, 3*n, false)
+		got, _ := Sequential(g)
+		want := BruteForce(g)
+		if !Equal(got, want) {
+			t.Fatalf("trial %d n=%d: sequential lists differ from brute force", trial, n)
+		}
+	}
+}
+
+func TestSequentialMatchesBruteForceWeighted(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + r.Intn(60)
+		g := graph.GnmUndirected(r, n, 3*n, true)
+		got, _ := Sequential(g)
+		want := BruteForce(g)
+		if !Equal(got, want) {
+			t.Fatalf("trial %d n=%d: sequential lists differ from brute force", trial, n)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + r.Intn(300)
+		weighted := trial%2 == 0
+		g := graph.GnmUndirected(r, n, 4*n, weighted)
+		seq, _ := Sequential(g)
+		par, parSt := Parallel(g)
+		if !Equal(seq, par) {
+			t.Fatalf("trial %d n=%d weighted=%v: parallel lists differ", trial, n, weighted)
+		}
+		if wantRounds := ceilLog2(n); parSt.Rounds != wantRounds {
+			t.Fatalf("trial %d: rounds=%d want %d", trial, parSt.Rounds, wantRounds)
+		}
+	}
+}
+
+func ceilLog2(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p *= 2
+		k++
+	}
+	return k
+}
+
+func TestDirectedGraph(t *testing.T) {
+	r := rng.New(4)
+	g := graph.GnmDirected(r, 50, 200, true)
+	seq, _ := Sequential(g)
+	par, _ := Parallel(g)
+	want := BruteForce(g)
+	if !Equal(seq, want) || !Equal(par, want) {
+		t.Fatal("directed graph lists differ from brute force")
+	}
+}
+
+func TestGridGraph(t *testing.T) {
+	g := graph.Grid2D(12, 12, true, rng.New(5))
+	seq, _ := Sequential(g)
+	par, _ := Parallel(g)
+	if !Equal(seq, par) {
+		t.Fatal("grid graph: parallel differs from sequential")
+	}
+}
+
+func TestRandomOrderMattersOnStructuredInput(t *testing.T) {
+	// The O(log n) list bound needs a uniformly random priority order. A
+	// row-major grid order is structured and produces much longer lists;
+	// random relabeling restores the bound. This is the paper's standing
+	// assumption made visible.
+	r := rng.New(55)
+	grid := graph.Grid2D(30, 30, true, r)
+	rowMajor, _ := Sequential(grid)
+	shuffledG, _ := graph.RandomRelabel(grid, r)
+	shuffled, _ := Sequential(shuffledG)
+	longest := func(ls Lists) int {
+		m := 0
+		for _, l := range ls {
+			if len(l) > m {
+				m = len(l)
+			}
+		}
+		return m
+	}
+	structured, random := longest(rowMajor), longest(shuffled)
+	if random*2 >= structured {
+		t.Fatalf("expected random order to shorten lists substantially: structured=%d random=%d",
+			structured, random)
+	}
+	if bound := int(6*math.Log(900)) + 5; random > bound {
+		t.Fatalf("random-order max list %d exceeds O(log n) bound %d", random, bound)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	// Two components: lists must never cross components.
+	edges := []graph.Edge{{From: 0, To: 1, W: 1}, {From: 2, To: 3, W: 1}}
+	g := graph.Symmetrize(4, edges, false)
+	lists, _ := Sequential(g)
+	for _, e := range lists[3] {
+		if e.V == 0 || e.V == 1 {
+			t.Fatalf("list of vertex 3 contains cross-component vertex %d", e.V)
+		}
+	}
+	par, _ := Parallel(g)
+	if !Equal(lists, par) {
+		t.Fatal("disconnected: parallel differs")
+	}
+}
+
+func TestListLengthLogarithmic(t *testing.T) {
+	// Cohen: each LE-list has length O(log n) whp under a random priority
+	// order. Also every list starts with its own vertex at distance 0 and
+	// has strictly decreasing distances.
+	r := rng.New(6)
+	n := 2048
+	g := graph.GnmUndirected(r, n, 8*n, true)
+	lists, st := Sequential(g)
+	maxLen := 0
+	for u, l := range lists {
+		if len(l) == 0 {
+			t.Fatalf("vertex %d has an empty LE-list", u)
+		}
+		if l[len(l)-1].V != int32(u) || l[len(l)-1].Dist != 0 {
+			t.Fatalf("vertex %d: last entry should be itself at distance 0, got %+v", u, l[len(l)-1])
+		}
+		for k := 1; k < len(l); k++ {
+			if !(l[k].Dist < l[k-1].Dist) {
+				t.Fatalf("vertex %d: distances not strictly decreasing", u)
+			}
+			if !(l[k].V > l[k-1].V) {
+				t.Fatalf("vertex %d: sources not increasing", u)
+			}
+		}
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	bound := int(6*math.Log(float64(n))) + 5
+	if maxLen > bound {
+		t.Fatalf("max list length %d exceeds O(log n) bound %d", maxLen, bound)
+	}
+	if st.MaxPerVert != maxLen {
+		t.Fatalf("MaxPerVert=%d but longest list is %d", st.MaxPerVert, maxLen)
+	}
+}
+
+func TestWorkWithinLogFactor(t *testing.T) {
+	// Theorem 6.2: O(W_SP log n) work. The total search work should be at
+	// most ~log n times a single full SSSP's work.
+	r := rng.New(7)
+	n := 1024
+	g := graph.GnmUndirected(r, n, 8*n, true)
+	_, st := Sequential(g)
+	m := float64(g.M())
+	logn := math.Log2(float64(n))
+	if float64(st.SearchWork) > 4*m*logn {
+		t.Fatalf("search work %d exceeds 4 m log n = %.0f", st.SearchWork, 4*m*logn)
+	}
+}
+
+func TestParallelExtraWorkConstantFactor(t *testing.T) {
+	// Theorem 2.6 consequence: running rounds eagerly costs only a
+	// constant factor more search work than the sequential schedule.
+	r := rng.New(8)
+	n := 2048
+	g := graph.GnmUndirected(r, n, 6*n, true)
+	_, seqSt := Sequential(g)
+	_, parSt := Parallel(g)
+	ratio := float64(parSt.SearchWork) / float64(seqSt.SearchWork)
+	if ratio > 4 {
+		t.Fatalf("parallel search work is %.2fx sequential; should be a small constant", ratio)
+	}
+}

@@ -1,0 +1,64 @@
+// Package linalg provides the tiny dense linear solver shared by the
+// d-dimensional geometric primitives (LP vertex enumeration, circumballs
+// for the smallest enclosing ball).
+package linalg
+
+import "math"
+
+// Solve solves m·x = rhs by Gauss–Jordan elimination with partial
+// pivoting, returning nil when the system is (numerically) singular.
+// m and rhs are clobbered.
+func Solve(m [][]float64, rhs []float64) []float64 {
+	d := len(rhs)
+	for col := 0; col < d; col++ {
+		piv, best := -1, 1e-9
+		for r := col; r < d; r++ {
+			if a := math.Abs(m[r][col]); a > best {
+				best = a
+				piv = r
+			}
+		}
+		if piv < 0 {
+			return nil
+		}
+		m[col], m[piv] = m[piv], m[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < d; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	x := make([]float64, d)
+	for i := 0; i < d; i++ {
+		x[i] = rhs[i] / m[i][i]
+	}
+	return x
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func Dist2(p, q []float64) float64 {
+	s := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	m := [][]float64{{2, 1}, {1, 3}}
+	rhs := []float64{5, 10}
+	x := Solve(m, rhs)
+	if x == nil || math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	if Solve([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}) != nil {
+		t.Fatal("singular system must return nil")
+	}
+	if Solve([][]float64{{0}}, []float64{1}) != nil {
+		t.Fatal("zero system must return nil")
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	// Property: for random well-conditioned systems, m·Solve(m, rhs) = rhs.
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		sub := rng.New(seed)
+		d := 1 + int(seed%5)
+		m := make([][]float64, d)
+		orig := make([][]float64, d)
+		for i := range m {
+			m[i] = make([]float64, d)
+			orig[i] = make([]float64, d)
+			for j := range m[i] {
+				m[i][j] = sub.Float64() - 0.5
+				orig[i][j] = m[i][j]
+			}
+			m[i][i] += 2 // diagonally dominant: well-conditioned
+			orig[i][i] = m[i][i]
+		}
+		rhs := make([]float64, d)
+		origRhs := make([]float64, d)
+		for i := range rhs {
+			rhs[i] = sub.Float64()
+			origRhs[i] = rhs[i]
+		}
+		x := Solve(m, rhs)
+		if x == nil {
+			return false
+		}
+		for i := 0; i < d; i++ {
+			if math.Abs(Dot(orig[i], x)-origRhs[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotAndDist2(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("dot")
+	}
+	if Dist2([]float64{0, 0}, []float64{3, 4}) != 25 {
+		t.Fatal("dist2")
+	}
+}

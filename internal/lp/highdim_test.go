@@ -1,0 +1,141 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func slackFn(r *rng.RNG) func() float64 {
+	return func() float64 { return 0.1 * r.Float64() }
+}
+
+func TestSolveDMatches2D(t *testing.T) {
+	// The d-dimensional solver at d=2 must agree with the planar solver.
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(60)
+		cons2 := TangentConstraints(r, n)
+		cx, cy := RandomObjective(r)
+		consD := make([]ConstraintD, n)
+		for i, c := range cons2 {
+			consD[i] = ConstraintD{A: []float64{c.Ax, c.Ay}, B: c.B}
+		}
+		want, _ := Solve(cons2, cx, cy)
+		x, feasible, _ := SolveD(consD, []float64{cx, cy})
+		if feasible != want.Feasible {
+			t.Fatalf("trial %d: feasible=%v want %v", trial, feasible, want.Feasible)
+		}
+		if feasible {
+			got := cx*x[0] + cy*x[1]
+			if math.Abs(got-want.Value) > 1e-6*(1+math.Abs(want.Value)) {
+				t.Fatalf("trial %d: value %v want %v", trial, got, want.Value)
+			}
+		}
+	}
+}
+
+func TestSolveD3MatchesBruteForce(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + r.Intn(18)
+		cons := SphereTangentD(r, slackFn(r), n, 3)
+		obj := unitObj(r, 3)
+		x, feasible, _ := SolveD(cons, obj)
+		bx, bFeasible := BruteForceD(cons, obj)
+		if feasible != bFeasible {
+			t.Fatalf("trial %d: feasible=%v brute=%v", trial, feasible, bFeasible)
+		}
+		if feasible {
+			got, want := dot(obj, x), dot(obj, bx)
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("trial %d n=%d: value %v want %v", trial, n, got, want)
+			}
+		}
+	}
+}
+
+func TestParSolveDMatchesSolveD(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + r.Intn(3) // d in {2,3,4}
+		n := 5 + r.Intn(200)
+		cons := SphereTangentD(r, slackFn(r), n, d)
+		obj := unitObj(r, d)
+		xs, fs, _ := SolveD(cons, obj)
+		xp, fp, _ := ParSolveD(cons, obj)
+		if fs != fp {
+			t.Fatalf("trial %d d=%d: feasibility differs", trial, d)
+		}
+		if fs {
+			vs, vp := dot(obj, xs), dot(obj, xp)
+			if math.Abs(vs-vp) > 1e-8*(1+math.Abs(vs)) {
+				t.Fatalf("trial %d d=%d: value seq=%v par=%v", trial, d, vs, vp)
+			}
+		}
+	}
+}
+
+func TestSolveDInfeasible(t *testing.T) {
+	// x_1 >= 1 and x_1 <= -1 simultaneously.
+	cons := []ConstraintD{
+		{A: []float64{-1, 0, 0}, B: -1},
+		{A: []float64{1, 0, 0}, B: -1},
+	}
+	if _, feasible, _ := SolveD(cons, []float64{1, 1, 1}); feasible {
+		t.Fatal("infeasible 3D program reported feasible")
+	}
+	if _, feasible, _ := ParSolveD(cons, []float64{1, 1, 1}); feasible {
+		t.Fatal("infeasible 3D program reported feasible (parallel)")
+	}
+}
+
+func TestSolveDUnconstrained(t *testing.T) {
+	x, feasible, _ := SolveD(nil, []float64{1, -1, 1})
+	if !feasible {
+		t.Fatal("box-only program is feasible")
+	}
+	want := []float64{-Bound, Bound, -Bound}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("x=%v want %v", x, want)
+		}
+	}
+}
+
+func TestSolveDWorkNearLinear(t *testing.T) {
+	// Expected work is O(d! n) — for fixed d, linear in n.
+	r := rng.New(4)
+	d := 3
+	var works [2]int64
+	sizes := []int{2000, 16000}
+	for i, n := range sizes {
+		cons := SphereTangentD(r, slackFn(r), n, d)
+		obj := unitObj(r, d)
+		_, _, w := SolveD(cons, obj)
+		works[i] = w
+	}
+	growth := float64(works[1]) / float64(works[0])
+	sizeRatio := float64(sizes[1]) / float64(sizes[0])
+	if growth > 3*sizeRatio {
+		t.Fatalf("work grew %.1fx for a %.0fx size increase; not linear", growth, sizeRatio)
+	}
+}
+
+func unitObj(r *rng.RNG, d int) []float64 {
+	obj := make([]float64, d)
+	norm := 0.0
+	for i := range obj {
+		obj[i] = r.NormFloat64()
+		norm += obj[i] * obj[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		obj[0], norm = 1, 1
+	}
+	for i := range obj {
+		obj[i] /= norm
+	}
+	return obj
+}

@@ -1,0 +1,195 @@
+// Package lp implements Section 5.1 of the paper: Seidel's randomized
+// incremental algorithm for two-dimensional linear programming, and its
+// Type 2 parallelization.
+//
+// The problem: minimize c·x subject to halfplane constraints a_i·x <= b_i,
+// with constraints processed in the given (random) order. The solution is
+// kept bounded by an implicit bounding box, so the optimum always exists
+// unless the program is infeasible.
+//
+// An iteration is special when its constraint makes the current optimum
+// infeasible (probability <= 2/j by backwards analysis: the optimum is
+// defined by at most two constraints). A special iteration solves a
+// one-dimensional LP over all earlier constraints along the new
+// constraint's line.
+package lp
+
+import (
+	"math"
+)
+
+// Constraint is the halfplane A.X*x + A.Y*y <= B.
+type Constraint struct {
+	Ax, Ay, B float64
+}
+
+// Violates reports whether (x, y) violates the constraint beyond a small
+// absolute tolerance (constraints are scaled to unit normals by the
+// generators, so an absolute epsilon is meaningful).
+func (c Constraint) Violates(x, y float64) bool {
+	return c.Ax*x+c.Ay*y > c.B+1e-9
+}
+
+// Result is the outcome of a linear program.
+type Result struct {
+	Feasible bool
+	X, Y     float64
+	Value    float64 // objective value c·(X, Y)
+}
+
+// Stats reports the counters of a run.
+type Stats struct {
+	Special    int   // special (tight-constraint) iterations
+	SideTests  int64 // constraint evaluations at a point (O(1) work units)
+	OneDimWork int64 // constraints processed inside 1D LPs
+	Rounds     int   // prefix rounds of the parallel schedule (0 sequential)
+	SubRounds  int
+}
+
+// Bound is the half-width of the implicit bounding box. Optima are sought
+// within [-Bound, Bound]^2; the generators produce programs whose true
+// optimum is well inside.
+const Bound = 1e6
+
+// solve1D finds, along the line ax*x + ay*y = b (a tight constraint), the
+// feasible interval under cons[0:k] intersected with the bounding box, and
+// returns the point minimizing (cx, cy), or infeasible. eval is invoked
+// once per constraint (the O(i) work of a special iteration).
+func solve1D(ax, ay, b float64, cons []Constraint, cx, cy float64, work *int64) (float64, float64, bool) {
+	// Parametrize the line as P(t) = p0 + t*d.
+	var p0x, p0y, dx, dy float64
+	if math.Abs(ay) >= math.Abs(ax) {
+		// y = (b - ax*x)/ay; param by x.
+		p0x, p0y = 0, b/ay
+		dx, dy = 1, -ax/ay
+	} else {
+		p0x, p0y = b/ax, 0
+		dx, dy = -ay/ax, 1
+	}
+	lo, hi := math.Inf(-1), math.Inf(1)
+	clip := func(aAx, aAy, aB float64) bool {
+		// Constraint along the line: (aA·d) t <= aB - aA·p0.
+		den := aAx*dx + aAy*dy
+		num := aB - (aAx*p0x + aAy*p0y)
+		const eps = 1e-12
+		if math.Abs(den) < eps {
+			return num >= -1e-9 // parallel: feasible iff line is inside
+		}
+		t := num / den
+		if den > 0 {
+			if t < hi {
+				hi = t
+			}
+		} else {
+			if t > lo {
+				lo = t
+			}
+		}
+		return lo <= hi+1e-9
+	}
+	// Bounding box as four clips.
+	if !clip(1, 0, Bound) || !clip(-1, 0, Bound) || !clip(0, 1, Bound) || !clip(0, -1, Bound) {
+		return 0, 0, false
+	}
+	for _, c := range cons {
+		*work++
+		if !clip(c.Ax, c.Ay, c.B) {
+			return 0, 0, false
+		}
+	}
+	// Minimize (cx, cy)·P(t) = const + t (c·d).
+	slope := cx*dx + cy*dy
+	t := lo
+	if slope > 0 {
+		t = lo
+	} else if slope < 0 {
+		t = hi
+	}
+	if math.IsInf(t, 0) {
+		return 0, 0, false // unbounded along the line beyond the box (cannot happen after box clips)
+	}
+	return p0x + t*dx, p0y + t*dy, true
+}
+
+// initialOptimum returns the corner of the bounding box minimizing the
+// objective; this is the optimum before any constraint is added.
+func initialOptimum(cx, cy float64) (float64, float64) {
+	x, y := Bound, Bound
+	if cx > 0 {
+		x = -Bound
+	}
+	if cy > 0 {
+		y = -Bound
+	}
+	return x, y
+}
+
+// Solve runs the sequential incremental algorithm over the constraints in
+// slice order, minimizing (cx, cy)·(x, y).
+func Solve(cons []Constraint, cx, cy float64) (Result, Stats) {
+	var st Stats
+	x, y := initialOptimum(cx, cy)
+	for i, c := range cons {
+		st.SideTests++
+		if !c.Violates(x, y) {
+			continue
+		}
+		st.Special++
+		nx, ny, ok := solve1D(c.Ax, c.Ay, c.B, cons[:i], cx, cy, &st.OneDimWork)
+		if !ok {
+			return Result{Feasible: false}, st
+		}
+		x, y = nx, ny
+	}
+	return Result{Feasible: true, X: x, Y: y, Value: cx*x + cy*y}, st
+}
+
+// BruteForce solves the LP by enumerating all constraint-pair intersections
+// plus box corners; O(n^3). Test oracle only.
+func BruteForce(cons []Constraint, cx, cy float64) Result {
+	feasible := func(x, y float64) bool {
+		if math.Abs(x) > Bound+1e-6 || math.Abs(y) > Bound+1e-6 {
+			return false
+		}
+		for _, c := range cons {
+			if c.Violates(x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	best := Result{Feasible: false}
+	consider := func(x, y float64) {
+		if !feasible(x, y) {
+			return
+		}
+		v := cx*x + cy*y
+		if !best.Feasible || v < best.Value {
+			best = Result{Feasible: true, X: x, Y: y, Value: v}
+		}
+	}
+	// Box corners.
+	for _, sx := range []float64{-Bound, Bound} {
+		for _, sy := range []float64{-Bound, Bound} {
+			consider(sx, sy)
+		}
+	}
+	all := make([]Constraint, 0, len(cons)+4)
+	all = append(all, cons...)
+	all = append(all,
+		Constraint{1, 0, Bound}, Constraint{-1, 0, Bound},
+		Constraint{0, 1, Bound}, Constraint{0, -1, Bound})
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			det := a.Ax*b.Ay - a.Ay*b.Ax
+			if math.Abs(det) < 1e-15 {
+				continue
+			}
+			x := (a.B*b.Ay - a.Ay*b.B) / det
+			y := (a.Ax*b.B - a.B*b.Ax) / det
+			consider(x, y)
+		}
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(40)
+		cons := TangentConstraints(r, n)
+		cx, cy := RandomObjective(r)
+		got, _ := Solve(cons, cx, cy)
+		want := BruteForce(cons, cx, cy)
+		if got.Feasible != want.Feasible {
+			t.Fatalf("trial %d: feasible=%v want %v", trial, got.Feasible, want.Feasible)
+		}
+		if got.Feasible && math.Abs(got.Value-want.Value) > 1e-6*(1+math.Abs(want.Value)) {
+			t.Fatalf("trial %d: value %.9f want %.9f", trial, got.Value, want.Value)
+		}
+	}
+}
+
+func TestParSolveMatchesSequential(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(200)
+		cons := TangentConstraints(r, n)
+		cx, cy := RandomObjective(r)
+		seq, seqSt := Solve(cons, cx, cy)
+		par, parSt := ParSolve(cons, cx, cy)
+		if seq.Feasible != par.Feasible {
+			t.Fatalf("trial %d n=%d: feasible seq=%v par=%v", trial, n, seq.Feasible, par.Feasible)
+		}
+		if seq.Feasible {
+			if math.Abs(seq.Value-par.Value) > 1e-9*(1+math.Abs(seq.Value)) {
+				t.Fatalf("trial %d: value seq=%.12f par=%.12f", trial, seq.Value, par.Value)
+			}
+			if math.Abs(seq.X-par.X) > 1e-6 || math.Abs(seq.Y-par.Y) > 1e-6 {
+				t.Fatalf("trial %d: optimum differs: (%g,%g) vs (%g,%g)", trial, seq.X, seq.Y, par.X, par.Y)
+			}
+		}
+		// The parallel schedule must execute exactly the sequential special
+		// iterations (it reorders regular ones only).
+		if seqSt.Special+1 != parSt.Special && seqSt.Special != parSt.Special {
+			// RunFirst counts as special in the schedule even when
+			// constraint 0 is loose; allow the off-by-one.
+			t.Fatalf("trial %d: special seq=%d par=%d", trial, seqSt.Special, parSt.Special)
+		}
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		cons := InfeasibleConstraints(r, 20+r.Intn(100))
+		cx, cy := RandomObjective(r)
+		seq, _ := Solve(cons, cx, cy)
+		par, _ := ParSolve(cons, cx, cy)
+		if seq.Feasible || par.Feasible {
+			t.Fatalf("trial %d: infeasible program reported feasible (seq=%v par=%v)",
+				trial, seq.Feasible, par.Feasible)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	res, _ := Solve(nil, 1, 0)
+	if !res.Feasible || res.X != -Bound {
+		t.Fatalf("empty program: got %+v", res)
+	}
+	res, _ = ParSolve(nil, 1, 0)
+	if !res.Feasible || res.X != -Bound {
+		t.Fatalf("empty parallel program: got %+v", res)
+	}
+	res, _ = ParSolve([]Constraint{{-1, 0, -2}}, 1, 0) // x >= 2
+	if !res.Feasible || math.Abs(res.X-2) > 1e-9 {
+		t.Fatalf("single constraint: got %+v", res)
+	}
+}
+
+func TestSpecialIterationsLogarithmic(t *testing.T) {
+	// Theorem 2.2 / Section 5.1: expected number of special iterations is
+	// O(log n); check the average over trials stays within a constant of
+	// 2 ln n (the backwards-analysis bound Σ 2/j).
+	r := rng.New(4)
+	n := 4096
+	trials := 20
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		cons := TangentConstraints(r, n)
+		cx, cy := RandomObjective(r)
+		_, st := Solve(cons, cx, cy)
+		total += st.Special
+	}
+	avg := float64(total) / float64(trials)
+	bound := 2*math.Log(float64(n)) + 4
+	if avg > bound {
+		t.Fatalf("avg special iterations %.2f exceeds 2 ln n + 4 = %.2f", avg, bound)
+	}
+}
+
+func TestLinearWork(t *testing.T) {
+	// Expected total work is O(n): 1D-LP work summed over special
+	// iterations should be a small multiple of n.
+	r := rng.New(5)
+	for _, n := range []int{1000, 4000, 16000} {
+		cons := TangentConstraints(r, n)
+		cx, cy := RandomObjective(r)
+		_, st := Solve(cons, cx, cy)
+		if st.OneDimWork > int64(20*n) {
+			t.Fatalf("n=%d: 1D work %d is superlinear", n, st.OneDimWork)
+		}
+	}
+}
+
+func TestParallelConstraintToTightLine(t *testing.T) {
+	// A constraint whose boundary is parallel to the tight constraint's
+	// line exercises the degenerate clip branch (a·d ≈ 0) in both the
+	// sequential and the reduction-based 1D solvers.
+	cons := []Constraint{
+		{Ax: 0, Ay: -1, B: -1}, // y >= 1 (tight at the optimum for c=(0,1))
+		{Ax: 0, Ay: -1, B: -2}, // y >= 2, parallel, tighter
+		{Ax: 1, Ay: 0, B: 5},   // x <= 5
+	}
+	seq, _ := Solve(cons, 0, 1)
+	par, _ := ParSolve(cons, 0, 1)
+	if !seq.Feasible || !par.Feasible {
+		t.Fatal("feasible program reported infeasible")
+	}
+	if math.Abs(seq.Y-2) > 1e-9 || math.Abs(par.Y-2) > 1e-9 {
+		t.Fatalf("optimum y: seq=%v par=%v want 2", seq.Y, par.Y)
+	}
+	// Contradictory parallel constraints: y >= 2 and y <= 1.
+	bad := []Constraint{
+		{Ax: 0, Ay: -1, B: -2},
+		{Ax: 0, Ay: 1, B: 1},
+	}
+	if res, _ := ParSolve(bad, 0, 1); res.Feasible {
+		t.Fatal("contradictory parallel constraints reported feasible")
+	}
+}
+
+func TestLooseWorkload(t *testing.T) {
+	r := rng.New(6)
+	cons := LooseConstraints(r, 1000)
+	res, st := ParSolve(cons, 1, 0)
+	if !res.Feasible {
+		t.Fatal("loose workload should be feasible")
+	}
+	if bound := 2*math.Log(1000) + 4; float64(st.Special) > bound {
+		t.Fatalf("special iterations %d exceed 2 ln n + 4 = %.1f", st.Special, bound)
+	}
+}

@@ -1,0 +1,57 @@
+package lp
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// TangentConstraints returns n constraints whose boundary lines are tangent
+// to the unit circle at random angles: a_i = (cos θ, sin θ), b_i = 1. The
+// feasible region is a random polygon circumscribing the circle, so many
+// constraints are tight during a random-order run — the canonical Seidel
+// stress workload. Objective directions should be unit vectors.
+func TangentConstraints(r *rng.RNG, n int) []Constraint {
+	cons := make([]Constraint, n)
+	for i := range cons {
+		th := 2 * math.Pi * r.Float64()
+		cons[i] = Constraint{Ax: math.Cos(th), Ay: math.Sin(th), B: 1 + 0.1*r.Float64()}
+	}
+	return cons
+}
+
+// LooseConstraints returns n constraints all satisfied by a ball around the
+// origin (b_i >= 1), plus slack variation, so very few are ever tight.
+func LooseConstraints(r *rng.RNG, n int) []Constraint {
+	cons := make([]Constraint, n)
+	for i := range cons {
+		th := 2 * math.Pi * r.Float64()
+		cons[i] = Constraint{Ax: math.Cos(th), Ay: math.Sin(th), B: 1 + 10*r.Float64()}
+	}
+	return cons
+}
+
+// InfeasibleConstraints returns constraints with an empty intersection:
+// three halfplanes pointing pairwise away plus random padding.
+func InfeasibleConstraints(r *rng.RNG, n int) []Constraint {
+	cons := make([]Constraint, 0, n+3)
+	// x <= -1, -x <= -1 (x >= 1): already empty; add y padding too.
+	cons = append(cons,
+		Constraint{1, 0, -1},
+		Constraint{-1, 0, -1},
+		Constraint{0, 1, -1})
+	for len(cons) < n {
+		th := 2 * math.Pi * r.Float64()
+		cons = append(cons, Constraint{Ax: math.Cos(th), Ay: math.Sin(th), B: 1 + r.Float64()})
+	}
+	// The certificate constraints must be spread randomly for the random-
+	// order analysis to apply.
+	rng.ShuffleSlice(r, cons)
+	return cons[:n]
+}
+
+// RandomObjective returns a uniformly random unit objective direction.
+func RandomObjective(r *rng.RNG) (cx, cy float64) {
+	th := 2 * math.Pi * r.Float64()
+	return math.Cos(th), math.Sin(th)
+}

@@ -1,0 +1,149 @@
+// Package parallel provides the shared-memory parallel primitives that the
+// rest of the repository builds on: grained parallel loops, reductions,
+// prefix sums, compaction (pack/filter), and priority-write cells.
+//
+// The primitives mirror the CRCW PRAM operations assumed by Blelloch, Gu,
+// Shun and Sun ("Parallelism in Randomized Incremental Algorithms", SPAA
+// 2016): a W-work D-depth PRAM algorithm runs here in O(W/P + D') time on P
+// cores, where D' inflates the paper's O(1) or O(log* n) sub-steps to
+// O(log n) tree reductions. The quantities the paper actually bounds —
+// dependence depth, operation counts — are measured by explicit counters in
+// the algorithm packages and are unaffected by this substitution.
+//
+// All loops are deterministic in their results (though not in execution
+// order) and safe for nested use; nesting simply shares GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxProcs returns the degree of parallelism used by the primitives in this
+// package. It is GOMAXPROCS at call time, floored at 1.
+func MaxProcs() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// DefaultGrain is the minimum number of loop iterations assigned to a task
+// when the caller does not specify a grain. It balances scheduling overhead
+// against load balance for loop bodies in the 10ns–1µs range.
+const DefaultGrain = 512
+
+// grainFor picks a grain so that each worker receives a handful of chunks,
+// bounded below by the provided minimum (or DefaultGrain if min <= 0).
+func grainFor(n, min int) int {
+	if min <= 0 {
+		min = DefaultGrain
+	}
+	p := MaxProcs()
+	// Aim for ~8 chunks per worker to allow load balancing without
+	// excessive scheduling overhead.
+	g := n / (8 * p)
+	if g < min {
+		g = min
+	}
+	return g
+}
+
+// For runs body(i) for every i in [lo, hi) with automatic grain selection.
+// It blocks until all iterations complete. Iterations must be independent.
+func For(lo, hi int, body func(i int)) {
+	ForGrain(lo, hi, 0, body)
+}
+
+// ForGrain is For with an explicit minimum grain: consecutive runs of at
+// least `grain` iterations are executed by one goroutine. grain <= 0 selects
+// DefaultGrain. Use a grain of 1 only for very heavy loop bodies.
+func ForGrain(lo, hi, grain int, body func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	g := grainFor(n, grain)
+	if n <= g || MaxProcs() == 1 {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for start := lo; start < hi; start += g {
+		end := start + g
+		if end > hi {
+			end = hi
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				body(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Blocks runs body(lo', hi') over a partition of [lo, hi) into contiguous
+// blocks of at least `grain` iterations. It is the bulk form of ForGrain for
+// bodies that want to amortize per-chunk setup (local buffers, counters).
+func Blocks(lo, hi, grain int, body func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	g := grainFor(n, grain)
+	if n <= g || MaxProcs() == 1 {
+		body(lo, hi)
+		return
+	}
+	var wg sync.WaitGroup
+	for start := lo; start < hi; start += g {
+		end := start + g
+		if end > hi {
+			end = hi
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+// It is the fork-join "par" combinator.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// NumBlocks reports how many blocks Blocks would create for n items with the
+// given grain. Exposed for preallocating per-block result slices.
+func NumBlocks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	g := grainFor(n, grain)
+	return (n + g - 1) / g
+}

@@ -1,0 +1,155 @@
+package parallel
+
+import "sync"
+
+// Number is the constraint for the arithmetic reductions in this package.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Reduce combines f(i) for i in [lo, hi) with the associative operation op,
+// starting from identity. op must be associative; commutativity is not
+// required because blocks are combined in index order.
+func Reduce[T any](lo, hi int, identity T, f func(i int) T, op func(a, b T) T) T {
+	n := hi - lo
+	if n <= 0 {
+		return identity
+	}
+	g := grainFor(n, 0)
+	if n <= g || MaxProcs() == 1 {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = op(acc, f(i))
+		}
+		return acc
+	}
+	nb := (n + g - 1) / g
+	partial := make([]T, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		s := lo + b*g
+		e := s + g
+		if e > hi {
+			e = hi
+		}
+		wg.Add(1)
+		go func(b, s, e int) {
+			defer wg.Done()
+			acc := identity
+			for i := s; i < e; i++ {
+				acc = op(acc, f(i))
+			}
+			partial[b] = acc
+		}(b, s, e)
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range partial {
+		acc = op(acc, p)
+	}
+	return acc
+}
+
+// SumFunc returns the sum of f(i) for i in [lo, hi).
+func SumFunc[T Number](lo, hi int, f func(i int) T) T {
+	var zero T
+	return Reduce(lo, hi, zero, f, func(a, b T) T { return a + b })
+}
+
+// Sum returns the sum of the elements of xs.
+func Sum[T Number](xs []T) T {
+	return SumFunc(0, len(xs), func(i int) T { return xs[i] })
+}
+
+// MinIndexFunc returns the smallest index i in [lo, hi) for which
+// keep(i) is true and key(i) is minimal, breaking ties toward the smaller
+// index. ok is false when no index satisfies keep.
+//
+// This is the "find first special iteration" primitive of the paper's Type 2
+// runner (Algorithm 1, line 7) and the min(E(t)) selection of Algorithm 5.
+func MinIndexFunc[K Number](lo, hi int, keep func(i int) bool, key func(i int) K) (idx int, ok bool) {
+	type cand struct {
+		idx int
+		ok  bool
+	}
+	res := Reduce(lo, hi, cand{-1, false},
+		func(i int) cand { return cand{i, keep(i)} },
+		func(a, b cand) cand {
+			if !a.ok {
+				return b
+			}
+			if !b.ok {
+				return a
+			}
+			ka, kb := key(a.idx), key(b.idx)
+			if ka < kb || (ka == kb && a.idx < b.idx) {
+				return a
+			}
+			return b
+		})
+	return res.idx, res.ok
+}
+
+// FirstIndex returns the smallest i in [lo, hi) with pred(i) true, or hi if
+// none. All predicates are evaluated (this is the PRAM minimum, not a
+// short-circuiting scan); use it when pred is cheap and [lo,hi) is a prefix
+// being probed in bulk.
+func FirstIndex(lo, hi int, pred func(i int) bool) int {
+	idx, ok := MinIndexFunc(lo, hi, pred, func(i int) int { return i })
+	if !ok {
+		return hi
+	}
+	return idx
+}
+
+// MaxFunc returns the maximum of f over [lo, hi); zero value if empty.
+func MaxFunc[T Number](lo, hi int, f func(i int) T) T {
+	if hi <= lo {
+		var zero T
+		return zero
+	}
+	first := f(lo)
+	return Reduce(lo+1, hi, first, f, func(a, b T) T {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// MinFunc returns the minimum of f over [lo, hi); zero value if empty.
+func MinFunc[T Number](lo, hi int, f func(i int) T) T {
+	if hi <= lo {
+		var zero T
+		return zero
+	}
+	first := f(lo)
+	return Reduce(lo+1, hi, first, f, func(a, b T) T {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// Count returns the number of i in [lo, hi) with pred(i) true.
+func Count(lo, hi int, pred func(i int) bool) int {
+	return SumFunc(lo, hi, func(i int) int {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Any reports whether pred holds for any i in [lo, hi).
+func Any(lo, hi int, pred func(i int) bool) bool {
+	return Count(lo, hi, pred) > 0
+}
+
+// All reports whether pred holds for every i in [lo, hi).
+func All(lo, hi int, pred func(i int) bool) bool {
+	return Count(lo, hi, pred) == hi-lo
+}

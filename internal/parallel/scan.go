@@ -1,0 +1,169 @@
+package parallel
+
+import "sync"
+
+// ScanExclusive replaces xs with its exclusive prefix sums under op and
+// returns the grand total: out[i] = identity ⊕ xs[0] ⊕ ... ⊕ xs[i-1].
+// op must be associative. The scan is the classic two-pass block algorithm:
+// per-block sums, a sequential scan over block sums, then per-block local
+// scans. Work O(n), depth O(n/P + #blocks).
+func ScanExclusive[T any](xs []T, identity T, op func(a, b T) T) T {
+	n := len(xs)
+	if n == 0 {
+		return identity
+	}
+	g := grainFor(n, 0)
+	if n <= g || MaxProcs() == 1 {
+		acc := identity
+		for i := 0; i < n; i++ {
+			x := xs[i]
+			xs[i] = acc
+			acc = op(acc, x)
+		}
+		return acc
+	}
+	nb := (n + g - 1) / g
+	sums := make([]T, nb)
+	var wg sync.WaitGroup
+	// Pass 1: block sums.
+	for b := 0; b < nb; b++ {
+		s := b * g
+		e := s + g
+		if e > n {
+			e = n
+		}
+		wg.Add(1)
+		go func(b, s, e int) {
+			defer wg.Done()
+			acc := identity
+			for i := s; i < e; i++ {
+				acc = op(acc, xs[i])
+			}
+			sums[b] = acc
+		}(b, s, e)
+	}
+	wg.Wait()
+	// Sequential exclusive scan over the (few) block sums.
+	acc := identity
+	for b := 0; b < nb; b++ {
+		s := sums[b]
+		sums[b] = acc
+		acc = op(acc, s)
+	}
+	total := acc
+	// Pass 2: local scans seeded with the block offset.
+	for b := 0; b < nb; b++ {
+		s := b * g
+		e := s + g
+		if e > n {
+			e = n
+		}
+		wg.Add(1)
+		go func(b, s, e int) {
+			defer wg.Done()
+			acc := sums[b]
+			for i := s; i < e; i++ {
+				x := xs[i]
+				xs[i] = acc
+				acc = op(acc, x)
+			}
+		}(b, s, e)
+	}
+	wg.Wait()
+	return total
+}
+
+// PrefixSums computes the exclusive prefix sums of counts in place and
+// returns the total. It is ScanExclusive specialized to addition.
+func PrefixSums[T Number](counts []T) T {
+	var zero T
+	return ScanExclusive(counts, zero, func(a, b T) T { return a + b })
+}
+
+// Pack copies the elements of xs whose flag is true into a fresh slice,
+// preserving order. It implements the PRAM compaction step used throughout
+// the paper's parallel algorithms (processor allocation and compaction).
+func Pack[T any](xs []T, flag func(i int) bool) []T {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	g := grainFor(n, 0)
+	nb := (n + g - 1) / g
+	counts := make([]int, nb)
+	Blocks(0, n, g, func(lo, hi int) {
+		b := lo / g
+		c := 0
+		for i := lo; i < hi; i++ {
+			if flag(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	total := PrefixSums(counts)
+	out := make([]T, total)
+	Blocks(0, n, g, func(lo, hi int) {
+		b := lo / g
+		pos := counts[b]
+		for i := lo; i < hi; i++ {
+			if flag(i) {
+				out[pos] = xs[i]
+				pos++
+			}
+		}
+	})
+	return out
+}
+
+// PackIndex returns, in order, the indices i in [0, n) with flag(i) true.
+func PackIndex(n int, flag func(i int) bool) []int {
+	if n == 0 {
+		return nil
+	}
+	g := grainFor(n, 0)
+	nb := (n + g - 1) / g
+	counts := make([]int, nb)
+	Blocks(0, n, g, func(lo, hi int) {
+		b := lo / g
+		c := 0
+		for i := lo; i < hi; i++ {
+			if flag(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	total := PrefixSums(counts)
+	out := make([]int, total)
+	Blocks(0, n, g, func(lo, hi int) {
+		b := lo / g
+		pos := counts[b]
+		for i := lo; i < hi; i++ {
+			if flag(i) {
+				out[pos] = i
+				pos++
+			}
+		}
+	})
+	return out
+}
+
+// Filter returns the elements of xs satisfying pred, in order.
+func Filter[T any](xs []T, pred func(x T) bool) []T {
+	return Pack(xs, func(i int) bool { return pred(xs[i]) })
+}
+
+// FlattenCounts turns a per-producer count slice into offsets (exclusive
+// prefix sums) and returns the total, a common pattern when parallel
+// producers each emit a variable number of results into a shared output.
+func FlattenCounts(counts []int) int {
+	return PrefixSums(counts)
+}
+
+// Map applies f to each element index of a fresh slice of length n.
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(0, n, func(i int) { out[i] = f(i) })
+	return out
+}

@@ -1,0 +1,102 @@
+package rng
+
+import (
+	"repro/internal/parallel"
+)
+
+// SwapTargets returns the Knuth-shuffle swap targets H with H[i] uniform in
+// [0, i]. Fixing H makes the resulting permutation a deterministic function,
+// so the sequential and parallel shuffles below can be compared exactly.
+func SwapTargets(r *RNG, n int) []int {
+	h := make([]int, n)
+	for i := 1; i < n; i++ {
+		h[i] = r.Intn(i + 1)
+	}
+	return h
+}
+
+// SeqShuffleWithTargets applies the Knuth shuffle to [0, n) with the given
+// swap targets: for i = 1..n-1, swap(a[i], a[H[i]]).
+func SeqShuffleWithTargets(h []int) []int {
+	n := len(h)
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	for i := 1; i < n; i++ {
+		a[i], a[h[i]] = a[h[i]], a[i]
+	}
+	return a
+}
+
+// ParShuffleWithTargets computes the same permutation as
+// SeqShuffleWithTargets but in parallel, using the reservation technique of
+// Shun, Gu, Blelloch, Fineman and Gibbons (SODA 2015), the precursor to the
+// framework reproduced by this repository. Iterations are processed in
+// doubling prefixes; each live iteration i priority-reserves cells i and
+// H[i] (smaller iteration index wins) and commits its swap when it holds
+// both. The number of sub-rounds per prefix is O(log n) whp.
+//
+// It returns the permutation and the total number of sub-rounds, the
+// empirical "iteration dependence depth" of the shuffle.
+func ParShuffleWithTargets(h []int) (perm []int, rounds int) {
+	n := len(h)
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	if n <= 1 {
+		return a, 0
+	}
+	reserved := make([]parallel.PriorityCell, n)
+	done := make([]bool, n)
+	done[0] = true
+
+	for lo := 1; lo < n; lo *= 2 {
+		hi := lo * 2
+		if hi > n {
+			hi = n
+		}
+		live := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			live = append(live, i)
+		}
+		for len(live) > 0 {
+			rounds++
+			// Reserve: each live i offers its index at cells i and h[i].
+			parallel.ForGrain(0, len(live), 64, func(k int) {
+				i := live[k]
+				reserved[i].Write(int64(i))
+				reserved[h[i]].Write(int64(i))
+			})
+			// Commit: i proceeds iff it won both reservations.
+			won := make([]bool, len(live))
+			parallel.ForGrain(0, len(live), 64, func(k int) {
+				i := live[k]
+				w1, _ := reserved[i].Load()
+				w2, _ := reserved[h[i]].Load()
+				if w1 == int64(i) && w2 == int64(i) {
+					a[i], a[h[i]] = a[h[i]], a[i]
+					won[k] = true
+					done[i] = true
+				}
+			})
+			// Clear reservations made this round and drop finished items.
+			parallel.ForGrain(0, len(live), 64, func(k int) {
+				i := live[k]
+				reserved[i].Reset()
+				reserved[h[i]].Reset()
+			})
+			live = parallel.Pack(live, func(k int) bool { return !won[k] })
+		}
+	}
+	return a, rounds
+}
+
+// ParPerm returns a uniformly random permutation of [0, n) computed with the
+// parallel shuffle, seeded deterministically.
+func ParPerm(seed uint64, n int) []int {
+	h := SwapTargets(New(seed), n)
+	p, _ := ParShuffleWithTargets(h)
+	return p
+}

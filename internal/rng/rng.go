@@ -1,0 +1,128 @@
+// Package rng provides the deterministic pseudo-randomness used throughout
+// the repository: a splittable SplitMix64 generator, uniformly random
+// permutations (sequential Knuth shuffle and a parallel variant), and the
+// workload distributions the experiments draw from.
+//
+// Randomized incremental algorithms are analyzed over uniformly random
+// insertion orders, so every experiment takes an explicit seed and derives
+// all of its randomness from it; runs are exactly reproducible.
+package rng
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (SplitMix64). It is not
+// safe for concurrent use; use Split to derive independent streams for
+// parallel workers.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a new generator whose stream is independent of (and
+// deterministic given) the parent's current state. The parent advances.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul128(x, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul128(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	lo = t & mask32
+	c := t >> 32
+	t = aHi*bLo + c
+	c = t >> 32
+	m := t & mask32
+	t = aLo*bHi + m
+	lo |= (t & mask32) << 32
+	hi = aHi*bHi + c + (t >> 32)
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the pair's second value is discarded for simplicity).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) via the Knuth
+// (Fisher–Yates) shuffle.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes xs uniformly at random in place.
+func (r *RNG) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// ShuffleSlice permutes any slice uniformly at random in place.
+func ShuffleSlice[T any](r *RNG, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Exp returns an exponential variate with rate lambda.
+func (r *RNG) Exp(lambda float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / lambda
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Fatal("different seeds should differ (overwhelmingly)")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("split streams should differ")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%97
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	// Chi-square-ish sanity: each of 10 buckets within 3% of expectation.
+	r := New(99)
+	const buckets, samples = 10, 1000000
+	var count [buckets]int
+	for i := 0; i < samples; i++ {
+		count[r.Intn(buckets)]++
+	}
+	want := samples / buckets
+	for b, c := range count {
+		if math.Abs(float64(c-want)) > 0.03*float64(want) {
+			t.Fatalf("bucket %d: %d vs expected %d", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	// First element of a random permutation of [0,4) should be uniform.
+	r := New(5)
+	var count [4]int
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		count[r.Perm(4)[0]]++
+	}
+	for v, c := range count {
+		if math.Abs(float64(c)-trials/4) > 0.05*trials/4 {
+			t.Fatalf("value %d first with count %d, expected ~%d", v, c, trials/4)
+		}
+	}
+}
+
+func TestShuffleSlice(t *testing.T) {
+	xs := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), xs...)
+	ShuffleSlice(New(11), xs)
+	seen := map[string]bool{}
+	for _, s := range xs {
+		seen[s] = true
+	}
+	for _, s := range orig {
+		if !seen[s] {
+			t.Fatalf("element %q lost in shuffle", s)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exp(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	sum, sum2 := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal moments: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestParShuffleMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 100, 5000} {
+		h := SwapTargets(New(uint64(n)+1), n)
+		seq := SeqShuffleWithTargets(h)
+		par, _ := ParShuffleWithTargets(h)
+		if len(seq) != len(par) {
+			t.Fatalf("n=%d: length mismatch", n)
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("n=%d: position %d: seq=%d par=%d", n, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+func TestParShuffleRoundsLogarithmic(t *testing.T) {
+	// Shun et al.: the shuffle's dependence depth is O(log n) whp; the
+	// doubling schedule runs O(log n) prefixes with O(1) expected
+	// sub-rounds each, so total sub-rounds should be O(log n) · O(1).
+	n := 1 << 15
+	h := SwapTargets(New(99), n)
+	_, rounds := ParShuffleWithTargets(h)
+	if limit := 8 * 15; rounds > limit {
+		t.Fatalf("sub-rounds %d exceed %d", rounds, limit)
+	}
+}
+
+func TestParPermIsPermutation(t *testing.T) {
+	p := ParPerm(123, 10000)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("duplicate in parallel permutation")
+		}
+		seen[v] = true
+	}
+}

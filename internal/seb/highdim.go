@@ -1,0 +1,180 @@
+package seb
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// This file implements the d-dimensional extension the paper notes for
+// Section 5.3: Welzl's algorithm generalizes with up to d+1 nested update
+// levels (support points on the ball boundary), O(c_d n) expected work and
+// O(d! log^d n) depth using the same random order for all sub-problems.
+
+// BallD is a closed ball in R^d.
+type BallD struct {
+	Center []float64
+	R2     float64
+}
+
+// ContainsD reports whether p is in the closed ball with construction
+// tolerance.
+func (b BallD) ContainsD(p []float64) bool {
+	if b.Center == nil {
+		return false
+	}
+	return linalg.Dist2(b.Center, p) <= b.R2*(1+1e-10)+1e-300
+}
+
+// circumBall returns the smallest ball whose boundary passes through all
+// support points (their circumball within the affine hull): center
+// c = s0 + Σ λ_j (s_j - s0) with 2(s_j-s0)·(c-s0) = |s_j-s0|².
+func circumBall(support [][]float64) BallD {
+	k := len(support)
+	if k == 0 {
+		return BallD{}
+	}
+	d := len(support[0])
+	s0 := support[0]
+	if k == 1 {
+		return BallD{Center: append([]float64(nil), s0...), R2: 0}
+	}
+	m := make([][]float64, k-1)
+	rhs := make([]float64, k-1)
+	diffs := make([][]float64, k-1)
+	for j := 1; j < k; j++ {
+		dj := make([]float64, d)
+		for c := 0; c < d; c++ {
+			dj[c] = support[j][c] - s0[c]
+		}
+		diffs[j-1] = dj
+	}
+	for r := 0; r < k-1; r++ {
+		m[r] = make([]float64, k-1)
+		for c := 0; c < k-1; c++ {
+			m[r][c] = 2 * linalg.Dot(diffs[r], diffs[c])
+		}
+		rhs[r] = linalg.Dot(diffs[r], diffs[r])
+	}
+	lambda := linalg.Solve(m, rhs)
+	if lambda == nil {
+		// Affinely dependent support (degenerate input): fall back to the
+		// diametral ball of the farthest pair among the support points.
+		best := BallD{}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b := diametral(support[i], support[j])
+				if b.R2 > best.R2 {
+					best = b
+				}
+			}
+		}
+		if best.Center == nil {
+			return BallD{Center: append([]float64(nil), s0...), R2: 0}
+		}
+		return best
+	}
+	center := append([]float64(nil), s0...)
+	for j := 0; j < k-1; j++ {
+		for c := 0; c < d; c++ {
+			center[c] += lambda[j] * diffs[j][c]
+		}
+	}
+	return BallD{Center: center, R2: linalg.Dist2(center, s0)}
+}
+
+func diametral(p, q []float64) BallD {
+	c := make([]float64, len(p))
+	for i := range c {
+		c[i] = (p[i] + q[i]) / 2
+	}
+	return BallD{Center: c, R2: linalg.Dist2(c, p)}
+}
+
+// IncrementalD computes the smallest enclosing ball of the points in slice
+// order (pre-shuffled), with the iterative Welzl structure generalized to d
+// dimensions: level-k updates fix k support points and rescan the prefix.
+func IncrementalD(pts [][]float64) (BallD, Stats) {
+	var st Stats
+	n := len(pts)
+	if n < 2 {
+		panic("seb: need at least two points")
+	}
+	d := len(pts[0])
+	b := diametral(pts[0], pts[1])
+	for i := 2; i < n; i++ {
+		st.InDiskTests++
+		if b.ContainsD(pts[i]) {
+			continue
+		}
+		st.Special++
+		b = updateD(pts, i, [][]float64{pts[i]}, d, &st)
+	}
+	return b, st
+}
+
+// updateD returns the smallest ball containing pts[0:upTo] with the given
+// support points on its boundary.
+func updateD(pts [][]float64, upTo int, support [][]float64, d int, st *Stats) BallD {
+	if len(support) == d+1 {
+		return circumBall(support)
+	}
+	var b BallD
+	if len(support) == 1 {
+		// Seed with the first prefix point, mirroring the 2D Update1.
+		b = diametral(pts[0], support[0])
+	} else {
+		b = circumBall(support)
+	}
+	start := 0
+	if len(support) == 1 {
+		start = 1
+	}
+	for k := start; k < upTo; k++ {
+		st.InDiskTests++
+		if b.ContainsD(pts[k]) {
+			continue
+		}
+		st.Update2Calls++
+		b = updateD(pts, k, append(append([][]float64{}, support...), pts[k]), d, st)
+	}
+	return b
+}
+
+// BruteForceD computes the smallest enclosing ball by enumerating all
+// support subsets of size 2..d+1; exponential, test oracle for small n.
+func BruteForceD(pts [][]float64) BallD {
+	d := len(pts[0])
+	best := BallD{R2: math.Inf(1)}
+	containsAll := func(b BallD) bool {
+		for _, p := range pts {
+			if !b.ContainsD(p) {
+				return false
+			}
+		}
+		return true
+	}
+	var subset [][]float64
+	var rec func(start, need int)
+	consider := func() {
+		b := circumBall(subset)
+		if b.Center != nil && b.R2 < best.R2 && containsAll(b) {
+			best = b
+		}
+	}
+	rec = func(start, need int) {
+		if need == 0 {
+			consider()
+			return
+		}
+		for i := start; i <= len(pts)-need; i++ {
+			subset = append(subset, pts[i])
+			rec(i+1, need-1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	for size := 2; size <= d+1 && size <= len(pts); size++ {
+		rec(0, size)
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package seb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func randPtsD(seed uint64, n, d int) [][]float64 {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestCircumBall(t *testing.T) {
+	// Circumball of a 3-4-5-ish right triangle in R^2: hypotenuse is the
+	// diameter.
+	support := [][]float64{{0, 0}, {4, 0}, {0, 3}}
+	b := circumBall(support)
+	if math.Abs(b.Center[0]-2) > 1e-9 || math.Abs(b.Center[1]-1.5) > 1e-9 {
+		t.Fatalf("center %v", b.Center)
+	}
+	if math.Abs(math.Sqrt(b.R2)-2.5) > 1e-9 {
+		t.Fatalf("radius %v", math.Sqrt(b.R2))
+	}
+	// Regular tetrahedron corner set in R^3: all vertices equidistant from
+	// the centroid.
+	tet := [][]float64{{1, 1, 1}, {1, -1, -1}, {-1, 1, -1}, {-1, -1, 1}}
+	b = circumBall(tet)
+	for _, p := range tet {
+		if math.Abs(linalg.Dist2(b.Center, p)-b.R2) > 1e-9 {
+			t.Fatal("tetrahedron support not on boundary")
+		}
+	}
+}
+
+func TestIncrementalDMatchesBruteForce(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		for trial := 0; trial < 8; trial++ {
+			n := 4 + trial*4
+			pts := randPtsD(uint64(d*100+trial), n, d)
+			got, _ := IncrementalD(pts)
+			want := BruteForceD(pts)
+			if math.Abs(got.R2-want.R2) > 1e-7*(1+want.R2) {
+				t.Fatalf("d=%d trial=%d n=%d: R2=%.10f want %.10f", d, trial, n, got.R2, want.R2)
+			}
+			for _, p := range pts {
+				if !got.ContainsD(p) {
+					t.Fatalf("d=%d trial=%d: point outside ball", d, trial)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalDMatches2D(t *testing.T) {
+	r := rng.New(3)
+	pts2 := make([][]float64, 300)
+	geoPts := make([]geom.Point, 300)
+	for i := range pts2 {
+		x, y := r.Float64(), r.Float64()
+		pts2[i] = []float64{x, y}
+		geoPts[i] = geom.Point{X: x, Y: y}
+	}
+	bd, _ := IncrementalD(pts2)
+	d2, _ := Incremental(geoPts)
+	if math.Abs(bd.R2-d2.R2) > 1e-9*(1+d2.R2) {
+		t.Fatalf("d-dim R2=%.12f planar R2=%.12f", bd.R2, d2.R2)
+	}
+	if math.Abs(bd.Center[0]-d2.Center.X) > 1e-6 || math.Abs(bd.Center[1]-d2.Center.Y) > 1e-6 {
+		t.Fatalf("centers differ: %v vs %+v", bd.Center, d2.Center)
+	}
+}
+
+func TestIncrementalDLinearWork(t *testing.T) {
+	d := 3
+	for _, n := range []int{2000, 8000} {
+		pts := randPtsD(uint64(n), n, d)
+		_, st := IncrementalD(pts)
+		if st.InDiskTests > int64(200*n) {
+			t.Fatalf("d=3 n=%d: %d tests superlinear", n, st.InDiskTests)
+		}
+	}
+}
+
+func TestIncrementalDSphereSurface(t *testing.T) {
+	// Points on a sphere in R^3: the ball must be (nearly) the unit ball.
+	r := rng.New(5)
+	pts := make([][]float64, 300)
+	for i := range pts {
+		p := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		norm := math.Sqrt(linalg.Dot(p, p))
+		for j := range p {
+			p[j] /= norm
+		}
+		pts[i] = p
+	}
+	b, _ := IncrementalD(pts)
+	if math.Abs(math.Sqrt(b.R2)-1) > 0.02 {
+		t.Fatalf("radius %.4f, want ~1", math.Sqrt(b.R2))
+	}
+}
+
+func TestDegenerateCollinearD(t *testing.T) {
+	// Collinear points in R^3 exercise the singular-system fallback.
+	pts := [][]float64{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {0.5, 0.5, 0.5}}
+	b, _ := IncrementalD(pts)
+	want := linalg.Dist2([]float64{1.5, 1.5, 1.5}, []float64{0, 0, 0})
+	if math.Abs(b.R2-want) > 1e-9 {
+		t.Fatalf("collinear R2=%v want %v", b.R2, want)
+	}
+}

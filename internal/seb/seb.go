@@ -1,0 +1,108 @@
+// Package seb implements Section 5.3 of the paper: Welzl's randomized
+// incremental algorithm for the smallest enclosing disk, and its Type 2
+// parallelization.
+//
+// The sequential structure follows the paper's presentation: the disk D is
+// maintained over a random insertion order; when point i falls outside D
+// the iteration is special and calls Update1(i) — the smallest disk with i
+// on the boundary — which scans earlier points and calls Update2(i, j)
+// whenever point j falls outside the working disk; Update2 scans again for
+// the third boundary point. Each level's violation probability is O(1/j)
+// by backwards analysis, so total work is O(n) expected and the dependence
+// depth O(log n) whp; the parallel version replaces each scan with
+// doubling-window earliest-violator searches (depth O(log² n) whp,
+// Theorem 5.3).
+package seb
+
+import (
+	"repro/internal/geom"
+)
+
+// Stats reports the counters of a run.
+type Stats struct {
+	Special      int   // iterations whose point fell outside the disk
+	Update2Calls int64 // second-level rebuild calls
+	InDiskTests  int64 // point-in-disk evaluations (the work measure)
+	Rounds       int   // prefix rounds of the parallel schedule
+	SubRounds    int
+}
+
+// Incremental computes the smallest enclosing disk of the points in slice
+// order (pre-shuffled by the caller). It requires n >= 2 and assumes no
+// four points are cocircular.
+func Incremental(pts []geom.Point) (geom.Disk, Stats) {
+	var st Stats
+	n := len(pts)
+	if n < 2 {
+		panic("seb: need at least two points")
+	}
+	d := geom.DiskFrom2(pts[0], pts[1])
+	for i := 2; i < n; i++ {
+		st.InDiskTests++
+		if d.Contains(pts[i]) {
+			continue
+		}
+		st.Special++
+		d = update1(pts, i, &st)
+	}
+	return d, st
+}
+
+// update1 returns the smallest disk containing pts[0:i+1] with pts[i] on
+// its boundary (sequential scan version).
+func update1(pts []geom.Point, i int, st *Stats) geom.Disk {
+	d := geom.DiskFrom2(pts[0], pts[i])
+	for j := 1; j < i; j++ {
+		st.InDiskTests++
+		if d.Contains(pts[j]) {
+			continue
+		}
+		st.Update2Calls++
+		d = update2(pts, i, j, st)
+	}
+	return d
+}
+
+// update2 returns the smallest disk containing pts[0:j+1] with pts[i] and
+// pts[j] on its boundary.
+func update2(pts []geom.Point, i, j int, st *Stats) geom.Disk {
+	d := geom.DiskFrom2(pts[i], pts[j])
+	for k := 0; k < j; k++ {
+		st.InDiskTests++
+		if d.Contains(pts[k]) {
+			continue
+		}
+		d = geom.DiskFrom3(pts[i], pts[j], pts[k])
+	}
+	return d
+}
+
+// BruteForce computes the smallest enclosing disk by trying every pair's
+// diametral disk and every triple's circumdisk; O(n^4). Test oracle.
+func BruteForce(pts []geom.Point) geom.Disk {
+	best := geom.Disk{R2: -1}
+	containsAll := func(d geom.Disk) bool {
+		for _, p := range pts {
+			if !d.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	consider := func(d geom.Disk) {
+		if (best.R2 < 0 || d.R2 < best.R2) && containsAll(d) {
+			best = d
+		}
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			consider(geom.DiskFrom2(pts[i], pts[j]))
+			for k := j + 1; k < len(pts); k++ {
+				if geom.Orient2D(pts[i], pts[j], pts[k]) != 0 {
+					consider(geom.DiskFrom3(pts[i], pts[j], pts[k]))
+				}
+			}
+		}
+	}
+	return best
+}

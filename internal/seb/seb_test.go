@@ -1,0 +1,142 @@
+package seb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestIncrementalMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(40)
+		pts := geom.Dedup(geom.UniformDisk(r, n))
+		if len(pts) < 2 {
+			continue
+		}
+		got, _ := Incremental(pts)
+		want := BruteForce(pts)
+		if math.Abs(got.R2-want.R2) > 1e-9*(1+want.R2) {
+			t.Fatalf("trial %d n=%d: R2=%.12f want %.12f", trial, n, got.R2, want.R2)
+		}
+		for _, p := range pts {
+			if !got.Contains(p) {
+				t.Fatalf("trial %d: point %v outside result disk", trial, p)
+			}
+		}
+	}
+}
+
+func TestParIncrementalMatchesSequential(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(500)
+		pts := geom.Dedup(geom.UniformSquare(r, n))
+		if len(pts) < 2 {
+			continue
+		}
+		seq, seqSt := Incremental(pts)
+		par, parSt := ParIncremental(pts)
+		if seq != par {
+			t.Fatalf("trial %d n=%d: disks differ: %+v vs %+v", trial, n, seq, par)
+		}
+		if seqSt.Special != parSt.Special {
+			t.Fatalf("trial %d: special seq=%d par=%d", trial, seqSt.Special, parSt.Special)
+		}
+		if seqSt.Update2Calls != parSt.Update2Calls {
+			t.Fatalf("trial %d: update2 seq=%d par=%d", trial, seqSt.Update2Calls, parSt.Update2Calls)
+		}
+	}
+}
+
+func TestPointsOnCircle(t *testing.T) {
+	// Adversarial: all points essentially on one circle; the disk must be
+	// (nearly) the unit disk.
+	r := rng.New(3)
+	pts := geom.Dedup(geom.OnCircle(r, 100, 1e-6))
+	d, _ := ParIncremental(pts)
+	if math.Abs(d.Radius()-1) > 1e-3 {
+		t.Fatalf("radius %.6f, want about 1", d.Radius())
+	}
+}
+
+func TestCollinearPoints(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}, {X: 0.5, Y: 0}}
+	seq, _ := Incremental(pts)
+	par, _ := ParIncremental(pts)
+	if seq != par {
+		t.Fatalf("collinear: seq %+v par %+v", seq, par)
+	}
+	want := geom.DiskFrom2(geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 0})
+	if math.Abs(seq.R2-want.R2) > 1e-12 {
+		t.Fatalf("collinear disk R2=%v want %v", seq.R2, want.R2)
+	}
+}
+
+func TestTwoPoints(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}}
+	d, _ := ParIncremental(pts)
+	if d.Center.X != 1 || d.Center.Y != 0 || math.Abs(d.Radius()-1) > 1e-12 {
+		t.Fatalf("got %+v", d)
+	}
+}
+
+func TestLinearWork(t *testing.T) {
+	// Expected O(n) in-disk tests for the sequential algorithm.
+	r := rng.New(5)
+	for _, n := range []int{1000, 8000, 32000} {
+		pts := geom.UniformDisk(r, n)
+		_, st := Incremental(pts)
+		if st.InDiskTests > int64(60*n) {
+			t.Fatalf("n=%d: %d in-disk tests is superlinear", n, st.InDiskTests)
+		}
+	}
+}
+
+func TestSpecialLogarithmic(t *testing.T) {
+	r := rng.New(6)
+	n := 8192
+	trials := 10
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		pts := geom.UniformDisk(r.Split(), n)
+		_, st := Incremental(pts)
+		total += st.Special
+	}
+	avg := float64(total) / float64(trials)
+	if bound := 3*math.Log(float64(n)) + 4; avg > bound {
+		t.Fatalf("avg special %.2f exceeds 3 ln n + 4 = %.2f", avg, bound)
+	}
+}
+
+func TestQuickValidity(t *testing.T) {
+	// Property: the result disk contains every input point and touches at
+	// least two of them (a smaller disk would exist otherwise).
+	f := func(raw []struct{ X, Y int8 }) bool {
+		pts := make([]geom.Point, 0, len(raw))
+		for _, q := range raw {
+			pts = append(pts, geom.Point{X: float64(q.X), Y: float64(q.Y)})
+		}
+		pts = geom.Dedup(pts)
+		if len(pts) < 2 {
+			return true
+		}
+		d, _ := ParIncremental(pts)
+		onBoundary := 0
+		for _, p := range pts {
+			if !d.Contains(p) {
+				return false
+			}
+			if math.Abs(geom.Dist2(d.Center, p)-d.R2) < 1e-6*(1+d.R2) {
+				onBoundary++
+			}
+		}
+		return onBoundary >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+package sortutil
+
+import "sync"
+
+// padMutex is a sync.Mutex padded to its own cache line so that the shard
+// lock array in Semisort does not false-share under contention.
+type padMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
