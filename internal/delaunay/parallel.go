@@ -73,10 +73,12 @@ func ParTriangulate(pts []geom.Point) *Mesh {
 		newTris := make([]Tri, len(fires))
 		newDepth := make([]int32, len(fires))
 		var tests atomic.Int64
-		preds := make([]geom.PredicateStats, len(fires))
-		var predIdx atomic.Int64
-		parallel.Blocks(0, len(fires), 1, func(lo, hi int) {
-			pred := &preds[predIdx.Add(1)-1]
+		// Grain 1: each fire is a rip-and-tent retriangulation whose cost
+		// varies with local geometry, so let the pool's dynamic chunk
+		// claiming balance them.
+		preds := make([]geom.PredicateStats, parallel.NumBlocks(len(fires), 1))
+		parallel.BlocksN(0, len(fires), len(preds), func(bi, lo, hi int) {
+			pred := &preds[bi]
 			var local int64
 			for k := lo; k < hi; k++ {
 				f := fires[k]
@@ -104,10 +106,8 @@ func ParTriangulate(pts []geom.Point) *Mesh {
 		s.depth = append(s.depth, newDepth...)
 		s.stats.TrianglesCreated += int64(len(fires))
 
-		nextCand := make([][]uint64, len(fires))
-		var candIdx atomic.Int64
-		parallel.Blocks(0, len(fires), 1, func(lo, hi int) {
-			ci := candIdx.Add(1) - 1
+		nextCand := make([][]uint64, parallel.NumBlocks(len(fires), 1))
+		parallel.BlocksN(0, len(fires), len(nextCand), func(ci, lo, hi int) {
 			var local []uint64
 			for k := lo; k < hi; k++ {
 				f := fires[k]

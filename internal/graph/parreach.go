@@ -31,12 +31,14 @@ func ParReachFrom(g *Graph, src int, forward bool, in func(u int) bool) (visited
 	var edges atomic.Int64
 	for len(frontier) > 0 {
 		// Expand every frontier vertex in parallel; claim new vertices
-		// with a CAS so each is visited exactly once.
+		// with a CAS so each is visited exactly once. Grain 16 keeps
+		// chunks small because per-vertex cost is the (skewed) degree;
+		// the pool's dynamic chunk claiming balances the heavy ones.
+		// Writing through the block index keeps the next frontier in
+		// deterministic block order.
 		nb := parallel.NumBlocks(len(frontier), 16)
 		nexts := make([][]int32, nb)
-		var blockIdx atomic.Int64
-		parallel.Blocks(0, len(frontier), 16, func(lo, hi int) {
-			bi := blockIdx.Add(1) - 1
+		parallel.BlocksN(0, len(frontier), nb, func(bi, lo, hi int) {
 			var local []int32
 			var scanned int64
 			for k := lo; k < hi; k++ {

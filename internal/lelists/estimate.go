@@ -48,6 +48,8 @@ func NewSizeEstimator(g *graph.Graph, seed uint64, ell int) *SizeEstimator {
 	for j := range seeds {
 		seeds[j] = root.Uint64()
 	}
+	// Grain 1: each trial builds a full LE-list structure — seconds of
+	// work per claim, the heaviest loop body in the repo.
 	parallel.ForGrain(0, ell, 1, func(j int) {
 		r := rng.New(seeds[j])
 		n := g.N

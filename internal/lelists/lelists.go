@@ -95,6 +95,8 @@ func Parallel(g *graph.Graph) (Lists, Stats) {
 		roundResults = make([]srcVisits, hi-lo)
 		bound := func(u int) float64 { return delta[u] } // frozen: combine writes later
 		works := make([]int64, hi-lo)
+		// Grain 1: pruned-search cost collapses as delta tightens, so
+		// per-source claims let early heavy searches load-balance.
 		parallel.ForGrain(lo, hi, 1, func(k int) {
 			visits, work := graph.PrunedSearch(g, k, bound)
 			roundResults[k-lo] = srcVisits{src: int32(k), visits: visits}
@@ -125,6 +127,8 @@ func Parallel(g *graph.Graph) (Lists, Stats) {
 			return uint64(triples[i].target)
 		})
 		kept := make([]int64, len(groups))
+		// Grain 1: group sizes are skewed (hub targets collect many
+		// triples); one group per claim.
 		parallel.ForGrain(0, len(groups), 1, func(gi int) {
 			grp := groups[gi]
 			target := triples[grp.Indices[0]].target

@@ -10,14 +10,17 @@
 // dependence depth, operation counts — are measured by explicit counters in
 // the algorithm packages and are unaffected by this substitution.
 //
-// All loops are deterministic in their results (though not in execution
-// order) and safe for nested use; nesting simply shares GOMAXPROCS.
+// All loops run on a persistent pool of at most GOMAXPROCS worker
+// goroutines (see pool.go) with dynamic self-scheduling: chunks are claimed
+// with an atomic counter, so skewed bodies load-balance and no goroutines
+// are spawned per call. All loops are deterministic in their results
+// (though not in execution order) and safe for nested use; an inner loop on
+// a busy worker is drained by that worker itself and helped by any idle
+// ones, so nesting cannot deadlock. A panic in a loop body is re-raised,
+// with its original value, on the goroutine that invoked the loop.
 package parallel
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // MaxProcs returns the degree of parallelism used by the primitives in this
 // package. It is GOMAXPROCS at call time, floored at 1.
@@ -29,25 +32,43 @@ func MaxProcs() int {
 	return p
 }
 
-// DefaultGrain is the minimum number of loop iterations assigned to a task
-// when the caller does not specify a grain. It balances scheduling overhead
-// against load balance for loop bodies in the 10ns–1µs range.
+// DefaultGrain is the grain used when the caller does not specify one: no
+// loop splits into more than ceil(n/DefaultGrain) chunks, so chunks hold at
+// least ~DefaultGrain/2 iterations (the even split may undershoot the grain
+// by up to half). It balances claim overhead against load balance for loop
+// bodies in the 10ns–1µs range.
 const DefaultGrain = 512
 
-// grainFor picks a grain so that each worker receives a handful of chunks,
-// bounded below by the provided minimum (or DefaultGrain if min <= 0).
-func grainFor(n, min int) int {
+// chunksFor picks the number of chunks for an n-iteration loop whose chunks
+// must hold at least min iterations (DefaultGrain if min <= 0):
+//
+//	min(chunksPerWorker·P, ceil(n/min))
+//
+// Small loops get ceil(n/min) chunks — so n just above the grain still
+// splits in two instead of silently serializing as the old grain-based
+// formula did — and large loops are capped at a few chunks per worker,
+// which the dynamic scheduler balances at claim time.
+func chunksFor(n, min int) int {
+	if n <= 0 {
+		return 0
+	}
 	if min <= 0 {
 		min = DefaultGrain
 	}
-	p := MaxProcs()
-	// Aim for ~8 chunks per worker to allow load balancing without
-	// excessive scheduling overhead.
-	g := n / (8 * p)
-	if g < min {
-		g = min
+	nb := (n + min - 1) / min
+	if limit := chunksPerWorker * MaxProcs(); nb > limit {
+		nb = limit
 	}
-	return g
+	return nb
+}
+
+// chunkBounds returns the half-open index range of chunk b when [lo, hi) is
+// split into nb near-equal contiguous chunks (sizes differ by at most one).
+func chunkBounds(lo, hi, b, nb int) (int, int) {
+	n := int64(hi - lo)
+	s := lo + int(int64(b)*n/int64(nb))
+	e := lo + int(int64(b+1)*n/int64(nb))
+	return s, e
 }
 
 // For runs body(i) for every i in [lo, hi) with automatic grain selection.
@@ -56,68 +77,95 @@ func For(lo, hi int, body func(i int)) {
 	ForGrain(lo, hi, 0, body)
 }
 
-// ForGrain is For with an explicit minimum grain: consecutive runs of at
-// least `grain` iterations are executed by one goroutine. grain <= 0 selects
-// DefaultGrain. Use a grain of 1 only for very heavy loop bodies.
+// ForGrain is For with an explicit grain: the loop splits into at most
+// ceil((hi-lo)/grain) chunks of near-equal size, so each chunk holds at
+// least ~grain/2 consecutive iterations (the even split may undershoot the
+// grain by up to half). grain <= 0 selects DefaultGrain. A grain of 1 is
+// fine for heavy loop bodies: chunks are claimed from the pool, not
+// spawned, so the per-chunk cost is an atomic increment rather than a
+// goroutine.
 func ForGrain(lo, hi, grain int, body func(i int)) {
 	n := hi - lo
 	if n <= 0 {
 		return
 	}
-	g := grainFor(n, grain)
-	if n <= g || MaxProcs() == 1 {
+	nb := chunksFor(n, grain)
+	if nb <= 1 || MaxProcs() == 1 {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for start := lo; start < hi; start += g {
-		end := start + g
-		if end > hi {
-			end = hi
+	runLoop(nb, func(b int) {
+		s, e := chunkBounds(lo, hi, b, nb)
+		for i := s; i < e; i++ {
+			body(i)
 		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			for i := s; i < e; i++ {
-				body(i)
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	})
 }
 
-// Blocks runs body(lo', hi') over a partition of [lo, hi) into contiguous
-// blocks of at least `grain` iterations. It is the bulk form of ForGrain for
-// bodies that want to amortize per-chunk setup (local buffers, counters).
+// Blocks runs body(lo', hi') over a partition of [lo, hi) into at most
+// ceil((hi-lo)/grain) contiguous near-equal blocks (each at least ~grain/2
+// iterations). It is the bulk form of ForGrain for bodies that want to
+// amortize per-chunk setup (local buffers, counters). The body is invoked
+// exactly NumBlocks(hi-lo, grain) times, even on a single-core run; when
+// per-block results are allocated from NumBlocks up front, prefer BlocksN
+// with that count so the partition cannot shift under a concurrent
+// GOMAXPROCS change.
 func Blocks(lo, hi, grain int, body func(lo, hi int)) {
+	BlocksIndexed(lo, hi, grain, func(_, s, e int) { body(s, e) })
+}
+
+// BlocksIndexed is Blocks with the block number passed to the body:
+// body(b, lo', hi') with b in [0, NumBlocks(hi-lo, grain)). The index lets
+// per-block outputs be written to out[b] directly instead of threading an
+// atomic block counter through the body.
+func BlocksIndexed(lo, hi, grain int, body func(b, lo, hi int)) {
 	n := hi - lo
 	if n <= 0 {
 		return
 	}
-	g := grainFor(n, grain)
-	if n <= g || MaxProcs() == 1 {
-		body(lo, hi)
+	runBlocks(lo, hi, chunksFor(n, grain), body)
+}
+
+// BlocksN runs body(b, lo', hi') over [lo, hi) split into exactly nb
+// near-equal blocks, b in [0, nb); nb is clamped to [1, hi-lo]. Use it with
+// a count captured from NumBlocks when per-block outputs are allocated
+// before the loop: unlike Blocks/BlocksIndexed, the partition is pinned by
+// the caller, so it cannot shift if GOMAXPROCS changes between the
+// allocation and the loop.
+func BlocksN(lo, hi, nb int, body func(b, lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
 		return
 	}
-	var wg sync.WaitGroup
-	for start := lo; start < hi; start += g {
-		end := start + g
-		if end > hi {
-			end = hi
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			body(s, e)
-		}(start, end)
+	if nb < 1 {
+		nb = 1
 	}
-	wg.Wait()
+	if nb > n {
+		nb = n
+	}
+	runBlocks(lo, hi, nb, body)
+}
+
+func runBlocks(lo, hi, nb int, body func(b, lo, hi int)) {
+	if nb == 1 || MaxProcs() == 1 {
+		for b := 0; b < nb; b++ {
+			s, e := chunkBounds(lo, hi, b, nb)
+			body(b, s, e)
+		}
+		return
+	}
+	runLoop(nb, func(b int) {
+		s, e := chunkBounds(lo, hi, b, nb)
+		body(b, s, e)
+	})
 }
 
 // Do runs the given functions concurrently and waits for all of them.
-// It is the fork-join "par" combinator.
+// It is the fork-join "par" combinator. The caller participates, so Do is
+// safe at any nesting depth; the first panic among the functions is
+// re-raised on the caller.
 func Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -126,24 +174,12 @@ func Do(fns ...func()) {
 		fns[0]()
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(fns) - 1)
-	for _, fn := range fns[1:] {
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(fn)
-	}
-	fns[0]()
-	wg.Wait()
+	runLoop(len(fns), func(c int) { fns[c]() })
 }
 
-// NumBlocks reports how many blocks Blocks would create for n items with the
-// given grain. Exposed for preallocating per-block result slices.
+// NumBlocks reports how many blocks Blocks (and BlocksIndexed) create for n
+// items with the given grain. Exposed for preallocating per-block result
+// slices.
 func NumBlocks(n, grain int) int {
-	if n <= 0 {
-		return 0
-	}
-	g := grainFor(n, grain)
-	return (n + g - 1) / g
+	return chunksFor(n, grain)
 }

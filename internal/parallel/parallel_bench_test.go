@@ -1,0 +1,206 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Benchmarks for the pool scheduler against the per-call-goroutine-spawn
+// baseline it replaced, over the three loop shapes that matter:
+//
+//   - uniform: cheap identical iterations — measures pure scheduling
+//     overhead (the spawn baseline pays one goroutine per chunk per call).
+//   - skewed: iteration cost ramps with the index — measures load balance
+//     (static partitions tail-stall on the heavy chunks).
+//   - nested: an outer Do over inner loops — measures goroutine pressure
+//     (spawning multiplies per level; the pool reuses its workers).
+//
+// Run with: go test ./internal/parallel -bench . -benchmem
+
+// --- per-call-spawn baseline (the seed implementation, kept verbatim) ---
+
+func spawnGrainFor(n, min int) int {
+	if min <= 0 {
+		min = DefaultGrain
+	}
+	p := MaxProcs()
+	g := n / (8 * p)
+	if g < min {
+		g = min
+	}
+	return g
+}
+
+func spawnForGrain(lo, hi, grain int, body func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	g := spawnGrainFor(n, grain)
+	if n <= g || MaxProcs() == 1 {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for start := lo; start < hi; start += g {
+		end := start + g
+		if end > hi {
+			end = hi
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				body(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+func spawnDo(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// --- harness ---
+
+// benchProcs raises GOMAXPROCS so both schedulers take their parallel paths
+// even on single-core CI machines; restored when the benchmark ends.
+func benchProcs(b *testing.B, p int) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev < p {
+		runtime.GOMAXPROCS(p)
+		b.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+}
+
+var benchSink atomic.Int64
+
+func spinWork(k int) int64 {
+	s := int64(0)
+	for j := 0; j < k; j++ {
+		s += int64(j)
+	}
+	return s
+}
+
+func BenchmarkForUniform(b *testing.B) {
+	const n = 1 << 16
+	body := func(i int) {
+		if i == -1 {
+			benchSink.Add(1) // keep the closure from being optimized away
+		}
+	}
+	b.Run("pool", func(b *testing.B) {
+		benchProcs(b, 4)
+		for i := 0; i < b.N; i++ {
+			ForGrain(0, n, 0, body)
+		}
+	})
+	b.Run("spawn", func(b *testing.B) {
+		benchProcs(b, 4)
+		for i := 0; i < b.N; i++ {
+			spawnForGrain(0, n, 0, body)
+		}
+	})
+}
+
+func BenchmarkForSkewed(b *testing.B) {
+	// Triangular cost ramp: the last chunk of a static partition holds a
+	// large constant fraction of the total work.
+	const n = 1 << 13
+	body := func(i int) {
+		benchSink.Store(spinWork(i >> 3))
+	}
+	b.Run("pool", func(b *testing.B) {
+		benchProcs(b, 4)
+		for i := 0; i < b.N; i++ {
+			ForGrain(0, n, 16, body)
+		}
+	})
+	b.Run("spawn", func(b *testing.B) {
+		benchProcs(b, 4)
+		for i := 0; i < b.N; i++ {
+			spawnForGrain(0, n, 16, body)
+		}
+	})
+}
+
+func BenchmarkNested(b *testing.B) {
+	// Four concurrent branches each running an inner grained loop: the
+	// spawn baseline creates goroutines at both levels on every call.
+	const inner = 1 << 12
+	body := func(i int) {
+		if i == -1 {
+			benchSink.Add(1)
+		}
+	}
+	b.Run("pool", func(b *testing.B) {
+		benchProcs(b, 4)
+		branch := func() { ForGrain(0, inner, 64, body) }
+		for i := 0; i < b.N; i++ {
+			Do(branch, branch, branch, branch)
+		}
+	})
+	b.Run("spawn", func(b *testing.B) {
+		benchProcs(b, 4)
+		branch := func() { spawnForGrain(0, inner, 64, body) }
+		for i := 0; i < b.N; i++ {
+			spawnDo(branch, branch, branch, branch)
+		}
+	})
+}
+
+func BenchmarkReduceSum(b *testing.B) {
+	benchProcs(b, 4)
+	const n = 1 << 18
+	for i := 0; i < b.N; i++ {
+		benchSink.Store(SumFunc(0, n, func(i int) int64 { return int64(i) }))
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	benchProcs(b, 4)
+	const n = 1 << 18
+	xs := make([]int64, n)
+	for i := 0; i < b.N; i++ {
+		for j := range xs {
+			xs[j] = 1
+		}
+		benchSink.Store(PrefixSums(xs))
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	benchProcs(b, 4)
+	const n = 1 << 17
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	for i := 0; i < b.N; i++ {
+		out := Pack(xs, func(i int) bool { return xs[i]%3 == 0 })
+		benchSink.Store(int64(len(out)))
+	}
+}

@@ -1,0 +1,201 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the persistent worker-pool scheduler that the loop
+// primitives (For, ForGrain, Blocks, Do, Reduce, ScanExclusive, ...) run on.
+//
+// Design, following the GBBS/Homemade-scheduler lineage (Dhulipala, Blelloch,
+// Shun, SPAA'18):
+//
+//   - A fixed set of worker goroutines is started lazily on first use and
+//     kept for the life of the process. The pool grows up to GOMAXPROCS
+//     workers (re-checked on every submit, so raising GOMAXPROCS later adds
+//     workers); it never shrinks. No goroutines are spawned per loop, so the
+//     goroutine count during any loop is O(GOMAXPROCS), not O(n/grain).
+//
+//   - Each parallel loop is a loopTask: a body over nchunks chunk indices and
+//     an atomic "next unclaimed chunk" counter. Workers and the caller claim
+//     chunks one at a time with an atomic fetch-add (dynamic self-scheduling),
+//     so skewed loop bodies load-balance instead of tail-stalling on a static
+//     partition.
+//
+//   - The caller always participates: it publishes the task, then claims
+//     chunks itself until the counter is exhausted, then blocks until every
+//     claimed chunk has finished. Nested parallelism is therefore
+//     deadlock-free by construction — an inner loop issued from a worker is
+//     drained by that worker itself even if every other worker is busy, and
+//     idle workers join in when they can.
+//
+//   - Panics in loop bodies are recovered in whichever goroutine ran the
+//     chunk, the first panic value is recorded, the remaining unclaimed
+//     chunks are cancelled, and the panic is re-raised (original value) on
+//     the caller's goroutine once the loop has drained. A panicking loop
+//     does not kill pool workers; the pool stays usable.
+
+// chunksPerWorker is the target number of chunks per worker for a large
+// loop: more chunks give the dynamic scheduler finer balancing at the cost
+// of more claim traffic.
+const chunksPerWorker = 8
+
+// loopTask is one parallel loop in flight on the pool.
+type loopTask struct {
+	body     func(chunk int)
+	nchunks  int64
+	next     atomic.Int64 // next unclaimed chunk index
+	pending  atomic.Int64 // claimed-or-unclaimed chunks not yet finished
+	done     chan struct{}
+	panicked atomic.Bool
+	panicVal any
+}
+
+// claim reserves the next chunk, reporting false when the loop is exhausted
+// (or cancelled by a panic).
+func (t *loopTask) claim() (int, bool) {
+	c := t.next.Add(1) - 1
+	if c >= t.nchunks {
+		return 0, false
+	}
+	return int(c), true
+}
+
+// runChunk executes one claimed chunk, recovering panics and signalling
+// completion when the last chunk finishes.
+func (t *loopTask) runChunk(c int) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.recordPanic(r)
+		}
+		if t.pending.Add(-1) == 0 {
+			close(t.done)
+		}
+	}()
+	t.body(c)
+}
+
+// recordPanic stores the first panic value and cancels all unclaimed chunks
+// so the loop drains quickly. Later panics (from chunks already in flight)
+// are dropped; the first one wins, mirroring sequential semantics where the
+// first panicking iteration is the only one reached.
+func (t *loopTask) recordPanic(r any) {
+	if !t.panicked.CompareAndSwap(false, true) {
+		return
+	}
+	t.panicVal = r
+	claimed := t.next.Swap(t.nchunks)
+	if claimed > t.nchunks {
+		claimed = t.nchunks // failed claims may have overshot the counter
+	}
+	if unclaimed := t.nchunks - claimed; unclaimed > 0 {
+		// The panicking chunk has not decremented pending yet, so this
+		// cannot reach zero here; the close happens in its runChunk defer.
+		t.pending.Add(-unclaimed)
+	}
+}
+
+// drain claims and runs chunks until none remain.
+func (t *loopTask) drain() {
+	for {
+		c, ok := t.claim()
+		if !ok {
+			return
+		}
+		t.runChunk(c)
+	}
+}
+
+// pool is the process-wide scheduler state.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	loops   []*loopTask // active loops that may still have unclaimed chunks
+	workers int         // worker goroutines started so far
+}
+
+var sched = newPool()
+
+func newPool() *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// submit publishes t so idle workers can help, growing the pool up to
+// MaxProcs() persistent workers.
+func (p *pool) submit(t *loopTask) {
+	want := MaxProcs()
+	p.mu.Lock()
+	p.loops = append(p.loops, t)
+	for p.workers < want {
+		p.workers++
+		go p.worker()
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// remove unpublishes t. Safe to call multiple times and from any goroutine.
+func (p *pool) remove(t *loopTask) {
+	p.mu.Lock()
+	for i, l := range p.loops {
+		if l == t {
+			last := len(p.loops) - 1
+			p.loops[i] = p.loops[last]
+			p.loops[last] = nil
+			p.loops = p.loops[:last]
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// worker is the persistent loop each pool goroutine runs: sleep until a loop
+// is published, then claim chunks from the oldest active loop until it is
+// exhausted. Workers never exit; an idle pool costs GOMAXPROCS parked
+// goroutines and nothing else.
+func (p *pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.loops) == 0 {
+			p.cond.Wait()
+		}
+		t := p.loops[0]
+		p.mu.Unlock()
+		for {
+			c, ok := t.claim()
+			if !ok {
+				break
+			}
+			t.runChunk(c)
+		}
+		// Exhausted (or cancelled): unpublish so we don't pick it again.
+		p.remove(t)
+	}
+}
+
+// runLoop executes body(0..nchunks-1) on the pool with the caller
+// participating, propagating the first panic to the caller. nchunks must
+// already be bounded (callers derive it from chunksFor or len(fns)).
+func runLoop(nchunks int, body func(chunk int)) {
+	if nchunks <= 0 {
+		return
+	}
+	if nchunks == 1 || MaxProcs() == 1 {
+		for c := 0; c < nchunks; c++ {
+			body(c)
+		}
+		return
+	}
+	t := &loopTask{body: body, nchunks: int64(nchunks), done: make(chan struct{})}
+	t.pending.Store(int64(nchunks))
+	sched.submit(t)
+	t.drain()
+	sched.remove(t)
+	<-t.done
+	if t.panicked.Load() {
+		panic(t.panicVal)
+	}
+}

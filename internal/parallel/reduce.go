@@ -1,7 +1,5 @@
 package parallel
 
-import "sync"
-
 // Number is the constraint for the arithmetic reductions in this package.
 type Number interface {
 	~int | ~int8 | ~int16 | ~int32 | ~int64 |
@@ -11,40 +9,30 @@ type Number interface {
 
 // Reduce combines f(i) for i in [lo, hi) with the associative operation op,
 // starting from identity. op must be associative; commutativity is not
-// required because blocks are combined in index order.
+// required because blocks are combined in index order. The per-block
+// reductions run on the worker pool.
 func Reduce[T any](lo, hi int, identity T, f func(i int) T, op func(a, b T) T) T {
 	n := hi - lo
 	if n <= 0 {
 		return identity
 	}
-	g := grainFor(n, 0)
-	if n <= g || MaxProcs() == 1 {
+	nb := chunksFor(n, 0)
+	if nb <= 1 || MaxProcs() == 1 {
 		acc := identity
 		for i := lo; i < hi; i++ {
 			acc = op(acc, f(i))
 		}
 		return acc
 	}
-	nb := (n + g - 1) / g
 	partial := make([]T, nb)
-	var wg sync.WaitGroup
-	for b := 0; b < nb; b++ {
-		s := lo + b*g
-		e := s + g
-		if e > hi {
-			e = hi
+	runLoop(nb, func(b int) {
+		s, e := chunkBounds(lo, hi, b, nb)
+		acc := identity
+		for i := s; i < e; i++ {
+			acc = op(acc, f(i))
 		}
-		wg.Add(1)
-		go func(b, s, e int) {
-			defer wg.Done()
-			acc := identity
-			for i := s; i < e; i++ {
-				acc = op(acc, f(i))
-			}
-			partial[b] = acc
-		}(b, s, e)
-	}
-	wg.Wait()
+		partial[b] = acc
+	})
 	acc := identity
 	for _, p := range partial {
 		acc = op(acc, p)

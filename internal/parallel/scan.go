@@ -1,19 +1,18 @@
 package parallel
 
-import "sync"
-
 // ScanExclusive replaces xs with its exclusive prefix sums under op and
 // returns the grand total: out[i] = identity ⊕ xs[0] ⊕ ... ⊕ xs[i-1].
 // op must be associative. The scan is the classic two-pass block algorithm:
 // per-block sums, a sequential scan over block sums, then per-block local
-// scans. Work O(n), depth O(n/P + #blocks).
+// scans. Both passes run on the worker pool with identical block boundaries.
+// Work O(n), depth O(n/P + #blocks).
 func ScanExclusive[T any](xs []T, identity T, op func(a, b T) T) T {
 	n := len(xs)
 	if n == 0 {
 		return identity
 	}
-	g := grainFor(n, 0)
-	if n <= g || MaxProcs() == 1 {
+	nb := chunksFor(n, 0)
+	if nb <= 1 || MaxProcs() == 1 {
 		acc := identity
 		for i := 0; i < n; i++ {
 			x := xs[i]
@@ -22,27 +21,16 @@ func ScanExclusive[T any](xs []T, identity T, op func(a, b T) T) T {
 		}
 		return acc
 	}
-	nb := (n + g - 1) / g
 	sums := make([]T, nb)
-	var wg sync.WaitGroup
 	// Pass 1: block sums.
-	for b := 0; b < nb; b++ {
-		s := b * g
-		e := s + g
-		if e > n {
-			e = n
+	runLoop(nb, func(b int) {
+		s, e := chunkBounds(0, n, b, nb)
+		acc := identity
+		for i := s; i < e; i++ {
+			acc = op(acc, xs[i])
 		}
-		wg.Add(1)
-		go func(b, s, e int) {
-			defer wg.Done()
-			acc := identity
-			for i := s; i < e; i++ {
-				acc = op(acc, xs[i])
-			}
-			sums[b] = acc
-		}(b, s, e)
-	}
-	wg.Wait()
+		sums[b] = acc
+	})
 	// Sequential exclusive scan over the (few) block sums.
 	acc := identity
 	for b := 0; b < nb; b++ {
@@ -52,24 +40,15 @@ func ScanExclusive[T any](xs []T, identity T, op func(a, b T) T) T {
 	}
 	total := acc
 	// Pass 2: local scans seeded with the block offset.
-	for b := 0; b < nb; b++ {
-		s := b * g
-		e := s + g
-		if e > n {
-			e = n
+	runLoop(nb, func(b int) {
+		s, e := chunkBounds(0, n, b, nb)
+		acc := sums[b]
+		for i := s; i < e; i++ {
+			x := xs[i]
+			xs[i] = acc
+			acc = op(acc, x)
 		}
-		wg.Add(1)
-		go func(b, s, e int) {
-			defer wg.Done()
-			acc := sums[b]
-			for i := s; i < e; i++ {
-				x := xs[i]
-				xs[i] = acc
-				acc = op(acc, x)
-			}
-		}(b, s, e)
-	}
-	wg.Wait()
+	})
 	return total
 }
 
@@ -88,11 +67,9 @@ func Pack[T any](xs []T, flag func(i int) bool) []T {
 	if n == 0 {
 		return nil
 	}
-	g := grainFor(n, 0)
-	nb := (n + g - 1) / g
+	nb := NumBlocks(n, 0)
 	counts := make([]int, nb)
-	Blocks(0, n, g, func(lo, hi int) {
-		b := lo / g
+	BlocksN(0, n, nb, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if flag(i) {
@@ -103,8 +80,7 @@ func Pack[T any](xs []T, flag func(i int) bool) []T {
 	})
 	total := PrefixSums(counts)
 	out := make([]T, total)
-	Blocks(0, n, g, func(lo, hi int) {
-		b := lo / g
+	BlocksN(0, n, nb, func(b, lo, hi int) {
 		pos := counts[b]
 		for i := lo; i < hi; i++ {
 			if flag(i) {
@@ -121,11 +97,9 @@ func PackIndex(n int, flag func(i int) bool) []int {
 	if n == 0 {
 		return nil
 	}
-	g := grainFor(n, 0)
-	nb := (n + g - 1) / g
+	nb := NumBlocks(n, 0)
 	counts := make([]int, nb)
-	Blocks(0, n, g, func(lo, hi int) {
-		b := lo / g
+	BlocksN(0, n, nb, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if flag(i) {
@@ -136,8 +110,7 @@ func PackIndex(n int, flag func(i int) bool) []int {
 	})
 	total := PrefixSums(counts)
 	out := make([]int, total)
-	Blocks(0, n, g, func(lo, hi int) {
-		b := lo / g
+	BlocksN(0, n, nb, func(b, lo, hi int) {
 		pos := counts[b]
 		for i := lo; i < hi; i++ {
 			if flag(i) {

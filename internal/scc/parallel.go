@@ -95,6 +95,8 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 				runPivot(k)
 			}
 		} else {
+			// Grain 1: each pivot runs a whole reachability search, the
+			// most skewed body in the repo; dynamic claiming is essential.
 			parallel.ForGrain(lo, hi, 1, runPivot)
 		}
 		st.ReachWork += parallel.Sum(works)
@@ -121,7 +123,9 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 		groups := sortutil.Semisort(len(flat), func(i int) uint64 {
 			return uint64(flat[i].target)
 		})
-		parallel.ForGrain(0, len(groups), 8, func(gi int) {
+		// Group sizes are skewed; with pool chunks this cheap, grain 4
+		// trades claim traffic for balance on the big groups.
+		parallel.ForGrain(0, len(groups), 4, func(gi int) {
 			grp := groups[gi]
 			u := flat[grp.Indices[0]].target
 			// Collect this vertex's discoverers per direction.

@@ -19,6 +19,9 @@ func earliestViolator(pts []geom.Point, d geom.Disk, lo, hi int, tests *atomic.I
 			end = hi
 		}
 		tests.Add(int64(end - start))
+		// MinIndexFunc reduces on the pool; windows below DefaultGrain run
+		// inline, so the doubling scan only pays for parallelism once the
+		// window is wide enough to use it.
 		idx, ok := parallel.MinIndexFunc(start, end,
 			func(k int) bool { return !d.Contains(pts[k]) },
 			func(k int) int { return k })

@@ -22,7 +22,9 @@ func Sort[T any](xs []T, less func(a, b T) bool) {
 		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
 		return
 	}
-	// Choose a power-of-two number of blocks ~4x procs for load balance.
+	// Choose a power-of-two number of blocks ~4x procs; the pool's
+	// dynamic chunk claiming assigns them to workers as they free up, so
+	// uneven block sort times don't tail-stall the round.
 	nb := 1
 	for nb < 4*parallel.MaxProcs() {
 		nb *= 2
