@@ -11,10 +11,12 @@ package repro
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bstsort"
 	"repro/internal/closestpair"
+	"repro/internal/core"
 	"repro/internal/delaunay"
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -339,6 +341,95 @@ func BenchmarkTable1SCCPar(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Type 2 runner: sequential reference vs reserve/commit batching ------
+//
+// The BenchmarkType2 family measures the framework change directly: the
+// same algorithm, once through the sequential scan (the reference runner's
+// serial probe order) and once through core.RunType2's batched
+// reserve/commit schedule. On a multi-core run (GOMAXPROCS >= 4) the
+// batched variants should show multi-core speedup on n >= 1e5 inputs. On a
+// single-core run BenchmarkType2Runner ties (probes below the grain run
+// inline) while the SEB/LP batched variants pay the parallel-hook tax —
+// atomic counters and closure dispatch per probe — without the payoff.
+
+var type2BenchSizes = []int{1 << 17}
+
+func BenchmarkType2SEB(b *testing.B) {
+	for _, n := range type2BenchSizes {
+		pts := geom.UniformDisk(rng.New(uint64(n)), n)
+		b.Run(fmt.Sprintf("runner=seq/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seb.Incremental(pts)
+			}
+		})
+		b.Run(fmt.Sprintf("runner=batched/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, st := seb.ParIncremental(pts)
+				if i == 0 {
+					b.ReportMetric(float64(st.InDiskTests)/float64(n), "tests/n")
+					b.ReportMetric(float64(st.MaxProbe), "maxprobe")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkType2LP(b *testing.B) {
+	for _, n := range type2BenchSizes {
+		r := rng.New(uint64(n))
+		cons := lp.TangentConstraints(r, n)
+		cx, cy := lp.RandomObjective(r)
+		b.Run(fmt.Sprintf("runner=seq/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lp.Solve(cons, cx, cy)
+			}
+		})
+		b.Run(fmt.Sprintf("runner=batched/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, st := lp.ParSolve(cons, cx, cy)
+				if i == 0 {
+					b.ReportMetric(float64(st.SideTests)/float64(n), "tests/n")
+					b.ReportMetric(float64(st.MaxProbe), "maxprobe")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkType2Runner isolates the framework itself with O(1) hooks: the
+// probe fan-out and reservation are the entire cost, so this is the purest
+// view of the batched schedule's scaling. Specials arrive at the paper's
+// ~c/k rate via a hash of the committed-special signature.
+func BenchmarkType2Runner(b *testing.B) {
+	mixb := func(x uint64) uint64 {
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x
+	}
+	n := 1 << 20
+	run := func(b *testing.B, runner func(int, core.Type2Hooks) core.Type2Stats, once bool) {
+		var checks int64
+		for i := 0; i < b.N; i++ {
+			var sig atomic.Uint64
+			sig.Store(mixb(12345))
+			st := runner(n, core.Type2Hooks{
+				SpecialOnce: once,
+				RunFirst:    func() {},
+				IsSpecial: func(k int) bool {
+					return mixb(sig.Load()^mixb(uint64(k)+1))%uint64(k+1) < 2
+				},
+				RunRegular: func(lo, hi int) {},
+				RunSpecial: func(k int) { sig.Store(mixb(sig.Load() ^ uint64(k))) },
+			})
+			checks = st.Checks
+		}
+		b.ReportMetric(float64(checks)/float64(n), "checks/n")
+	}
+	b.Run(fmt.Sprintf("runner=seq/n=%d", n), func(b *testing.B) { run(b, core.RunType2Seq, false) })
+	b.Run(fmt.Sprintf("runner=batched/n=%d", n), func(b *testing.B) { run(b, core.RunType2, true) })
 }
 
 // --- Ablations (design choices called out in DESIGN.md) -----------------

@@ -41,6 +41,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "random seed (all experiments are deterministic given the seed)")
+	procs := fs.Int("procs", 0, "worker count for the run (sets GOMAXPROCS; 0 keeps the environment's value)")
 	row := fs.String("row", "", "table1 only: a single row (sort|dt|lp|cp|seb|lelists|scc)")
 	alg := fs.String("alg", "sort", "depth only: algorithm (sort|dt)")
 	n := fs.Int("n", 4096, "input size for single-size experiments")
@@ -48,6 +49,12 @@ func main() {
 	trials := fs.Int("trials", 10, "trials per configuration")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *procs > 0 {
+		// The parallel pool sizes itself from GOMAXPROCS at submit time, so
+		// setting it here bounds the workers every experiment loop uses;
+		// sweeps can vary P per invocation without env fiddling.
+		runtime.GOMAXPROCS(*procs)
 	}
 
 	fmt.Printf("ridt: GOMAXPROCS=%d seed=%d\n\n", runtime.GOMAXPROCS(0), *seed)
@@ -139,7 +146,7 @@ commands:
   shuffle    parallel random-permutation depth
   all        run everything
 
-flags (after the command): -seed -row -alg -n -max -trials
+flags (after the command): -seed -row -alg -n -max -trials -procs
 `)
 }
 

@@ -178,9 +178,8 @@ func ParIncrementalD(pts []PointD) (Result, Stats) {
 				dist[k-j], arg[k-j] = d, a
 			})
 			st.DistChecks += parallel.Sum(checks)
-			l, ok := parallel.MinIndexFunc(j, hi,
-				func(k int) bool { return dist[k-j] < res.Dist },
-				func(k int) int { return k })
+			l, ok := parallel.ReduceMinIndex(j, hi, 0,
+				func(k int) bool { return dist[k-j] < res.Dist })
 			if !ok {
 				j = hi
 				break

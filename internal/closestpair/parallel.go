@@ -110,9 +110,11 @@ func ParIncremental(pts []geom.Point) (Result, Stats) {
 				dist[k-j], arg[k-j] = d, a
 			})
 			checks.Add(parallel.Sum(blockChecks))
-			l, ok := parallel.MinIndexFunc(j, hi,
-				func(k int) bool { return dist[k-j] < res.Dist },
-				func(k int) int { return k })
+			// Reserve-style earliest-true search: the distances are already
+			// materialized, so the predicate is a cheap array read and
+			// pruning skips comparisons that cannot win.
+			l, ok := parallel.ReduceMinIndex(j, hi, 0,
+				func(k int) bool { return dist[k-j] < res.Dist })
 			if !ok {
 				j = hi
 				break

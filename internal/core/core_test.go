@@ -20,6 +20,32 @@ func TestHn(t *testing.T) {
 	}
 }
 
+// TestHnExpansionMatchesExactSum pins the asymptotic fast path to the
+// direct sum across the cutoff: the two must agree to near machine
+// precision, so no caller can observe which branch ran.
+func TestHnExpansionMatchesExactSum(t *testing.T) {
+	exact := func(n int) float64 {
+		// Sum smallest-first for minimal rounding error.
+		h := 0.0
+		for i := n; i >= 1; i-- {
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	for _, n := range []int{hnExactCutoff - 1, hnExactCutoff, hnExactCutoff + 1, 1000, 4096, 100000} {
+		got, want := Hn(n), exact(n)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Hn(%d)=%.17g, exact sum %.17g (diff %g)", n, got, want, got-want)
+		}
+	}
+	// Monotone across the cutoff.
+	for n := hnExactCutoff - 2; n < hnExactCutoff+3; n++ {
+		if Hn(n+1) <= Hn(n) {
+			t.Fatalf("Hn not increasing at n=%d: %v then %v", n, Hn(n), Hn(n+1))
+		}
+	}
+}
+
 func TestLog2Ceil(t *testing.T) {
 	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
 	for n, want := range cases {
@@ -36,68 +62,95 @@ func TestType1DepthBound(t *testing.T) {
 	if math.Abs(got-want) > 1e-9 {
 		t.Fatalf("bound=%v want %v", got, want)
 	}
+	if s := Type1Sigma(6); math.Abs(s-6*math.E*math.E) > 1e-12 {
+		t.Fatalf("Type1Sigma(6)=%v", s)
+	}
 }
 
-// type2Trace runs RunType2 against a scripted special-set and records the
-// execution order, verifying the scheduler's sequential semantics.
+// type2Runners enumerates every schedule the trace tests must satisfy: the
+// sequential reference and the batched runner, each with and without the
+// SpecialOnce contract (a scripted special-set is trivially verdict-stable,
+// so both flag settings are valid).
+var type2Runners = []struct {
+	name string
+	run  func(n int, h Type2Hooks) Type2Stats
+	once bool
+}{
+	{"seq", RunType2Seq, false},
+	{"batched", RunType2, false},
+	{"batched-once", RunType2, true},
+}
+
+// type2Trace runs a Type 2 schedule against a scripted special-set and
+// records the execution order, verifying the scheduler's sequential
+// semantics. IsSpecial runs concurrently on pool workers, so its
+// violations are reported with Errorf (safe off the test goroutine) and
+// never Fatalf.
 func type2Trace(t *testing.T, n int, specialAt map[int]bool) {
 	t.Helper()
-	executed := make([]bool, n)
-	var order []int
-	h := Type2Hooks{
-		RunFirst: func() {
-			executed[0] = true
-			order = append(order, 0)
-		},
-		IsSpecial: func(k int) bool {
-			if executed[k] {
-				t.Fatalf("IsSpecial(%d) called after execution", k)
-			}
-			return specialAt[k]
-		},
-		RunRegular: func(lo, hi int) {
-			for k := lo; k < hi; k++ {
+	for _, runner := range type2Runners {
+		executed := make([]bool, n)
+		var order []int
+		h := Type2Hooks{
+			SpecialOnce: runner.once,
+			RunFirst: func() {
+				executed[0] = true
+				order = append(order, 0)
+			},
+			IsSpecial: func(k int) bool {
 				if executed[k] {
-					t.Fatalf("iteration %d executed twice", k)
+					t.Errorf("%s: IsSpecial(%d) called after execution", runner.name, k)
 				}
-				if specialAt[k] {
-					t.Fatalf("special iteration %d run as regular", k)
+				return specialAt[k]
+			},
+			RunRegular: func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					if executed[k] {
+						t.Fatalf("%s: iteration %d executed twice", runner.name, k)
+					}
+					if specialAt[k] {
+						t.Fatalf("%s: special iteration %d run as regular", runner.name, k)
+					}
+					executed[k] = true
+					order = append(order, k)
+				}
+			},
+			RunSpecial: func(k int) {
+				if !specialAt[k] {
+					t.Fatalf("%s: regular iteration %d run as special", runner.name, k)
+				}
+				// All earlier iterations must be done.
+				for j := 0; j < k; j++ {
+					if !executed[j] {
+						t.Fatalf("%s: special %d ran before iteration %d", runner.name, k, j)
+					}
 				}
 				executed[k] = true
 				order = append(order, k)
-			}
-		},
-		RunSpecial: func(k int) {
-			if !specialAt[k] {
-				t.Fatalf("regular iteration %d run as special", k)
-			}
-			// All earlier iterations must be done.
-			for j := 0; j < k; j++ {
-				if !executed[j] {
-					t.Fatalf("special %d ran before iteration %d", k, j)
-				}
-			}
-			executed[k] = true
-			order = append(order, k)
-		},
-	}
-	st := RunType2(n, h)
-	for k := 0; k < n; k++ {
-		if !executed[k] {
-			t.Fatalf("iteration %d never executed", k)
+			},
 		}
-	}
-	wantSpecial := 1
-	for k := range specialAt {
-		if k != 0 && k < n && specialAt[k] {
-			wantSpecial++
+		st := runner.run(n, h)
+		for k := 0; k < n; k++ {
+			if !executed[k] {
+				t.Fatalf("%s: iteration %d never executed", runner.name, k)
+			}
 		}
-	}
-	if st.Special != wantSpecial {
-		t.Fatalf("special=%d want %d", st.Special, wantSpecial)
-	}
-	if st.N != n {
-		t.Fatalf("N=%d", st.N)
+		wantSpecial := 1
+		for k := range specialAt {
+			if k != 0 && k < n && specialAt[k] {
+				wantSpecial++
+			}
+		}
+		if st.Special != wantSpecial {
+			t.Fatalf("%s: special=%d want %d", runner.name, st.Special, wantSpecial)
+		}
+		if st.N != n {
+			t.Fatalf("%s: N=%d", runner.name, st.N)
+		}
+		if st.RegularBatches > st.SubRounds {
+			t.Fatalf("%s: %d regular batches exceed %d sub-rounds (not batched)",
+				runner.name, st.RegularBatches, st.SubRounds)
+		}
 	}
 }
 
@@ -132,17 +185,22 @@ func TestRunType2RandomScripts(t *testing.T) {
 }
 
 func TestRunType2Empty(t *testing.T) {
-	st := RunType2(0, Type2Hooks{
-		RunFirst:  func() { t.Fatal("must not run") },
-		IsSpecial: func(int) bool { return false },
-	})
-	if st.Special != 0 || st.Rounds != 0 {
-		t.Fatalf("empty run: %+v", st)
+	for _, runner := range type2Runners {
+		st := runner.run(0, Type2Hooks{
+			RunFirst:    func() { t.Fatal("must not run") },
+			IsSpecial:   func(int) bool { return false },
+			SpecialOnce: runner.once,
+		})
+		if st.Special != 0 || st.Rounds != 0 {
+			t.Fatalf("%s: empty run: %+v", runner.name, st)
+		}
 	}
 }
 
 func TestRunType2ChecksLinear(t *testing.T) {
-	// With O(1) expected specials per prefix, total checks are O(n).
+	// With O(1) expected specials per prefix, total checks are O(n); under
+	// the SpecialOnce windowed schedule the bound holds worst-case and is
+	// never above the sequential reference's charge.
 	r := rng.New(2)
 	n := 1 << 14
 	sp := map[int]bool{}
@@ -151,15 +209,25 @@ func TestRunType2ChecksLinear(t *testing.T) {
 			sp[k] = true
 		}
 	}
-	done := make([]bool, n)
-	st := RunType2(n, Type2Hooks{
-		RunFirst:   func() { done[0] = true },
-		IsSpecial:  func(k int) bool { return sp[k] },
-		RunRegular: func(lo, hi int) {},
-		RunSpecial: func(k int) {},
-	})
-	if st.Checks > int64(12*n) {
-		t.Fatalf("checks=%d is superlinear for n=%d", st.Checks, n)
+	var seqChecks int64
+	for _, runner := range type2Runners {
+		done := make([]bool, n)
+		st := runner.run(n, Type2Hooks{
+			RunFirst:    func() { done[0] = true },
+			IsSpecial:   func(k int) bool { return sp[k] },
+			RunRegular:  func(lo, hi int) {},
+			RunSpecial:  func(k int) {},
+			SpecialOnce: runner.once,
+		})
+		if st.Checks > int64(12*n) {
+			t.Fatalf("%s: checks=%d is superlinear for n=%d", runner.name, st.Checks, n)
+		}
+		if runner.name == "seq" {
+			seqChecks = st.Checks
+		} else if st.Checks > seqChecks {
+			t.Fatalf("%s: checks=%d exceed the sequential reference's %d",
+				runner.name, st.Checks, seqChecks)
+		}
 	}
 }
 

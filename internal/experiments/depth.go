@@ -21,10 +21,10 @@ func DepthDistribution(seed uint64, alg string, n, trials int) *Table {
 	var title string
 	switch alg {
 	case "sort":
-		sigma = 2 * math.E * math.E
+		sigma = core.Type1Sigma(2)
 		title = "Theorem 2.1 depth concentration / BST sort (k=2, σ=2e²≈14.8)"
 	case "dt":
-		sigma = 6 * math.E * math.E
+		sigma = core.Type1Sigma(6)
 		title = "Theorem 2.1 depth concentration / Delaunay d=2 (k=2(d+1)=6, σ=6e²≈44.3)"
 	default:
 		panic("experiments: unknown algorithm " + alg)

@@ -78,8 +78,9 @@ func LPScaling(seed uint64, sizes []int) *Table {
 	t := &Table{
 		Title: "Table 1 / 2D linear programming (Type 2): O(n) work, O(log n) depth",
 		Note: "work/n should be flat (Thm 5.1); special/(2 ln n) <= ~1 (backwards\n" +
-			"analysis: optimum defined by <= 2 constraints).",
-		Headers: []string{"n", "work", "work/n", "special", "spec/(2 ln n)", "sub-rounds", "seq ms", "par ms"},
+			"analysis: optimum defined by <= 2 constraints); max probe is the\n" +
+			"widest batched reservation the schedule issued.",
+		Headers: []string{"n", "work", "work/n", "special", "spec/(2 ln n)", "sub-rounds", "max probe", "seq ms", "par ms"},
 	}
 	r := rng.New(seed)
 	for _, n := range sizes {
@@ -92,7 +93,7 @@ func LPScaling(seed uint64, sizes []int) *Table {
 		t.Rows = append(t.Rows, []string{
 			it(n), i64(work), f3(float64(work) / float64(n)),
 			it(seqSt.Special), f2(float64(seqSt.Special) / (2 * math.Log(float64(n)))),
-			it(parSt.SubRounds),
+			it(parSt.SubRounds), it(parSt.MaxProbe),
 			ms(seqT), ms(parT),
 		})
 	}
@@ -132,8 +133,9 @@ func SEBScaling(seed uint64, sizes []int) *Table {
 	t := &Table{
 		Title: "Table 1 / smallest enclosing disk (Type 2): O(n) work, O(log^2 n) depth",
 		Note: "tests/n flat (Thm 5.3); special/(3 ln n) <= ~1 (the boundary is\n" +
-			"defined by <= 3 points).",
-		Headers: []string{"n", "in-disk tests", "tests/n", "special", "spec/(3 ln n)", "update2", "sub-rounds", "seq ms", "par ms"},
+			"defined by <= 3 points); max probe is the widest batched\n" +
+			"reservation the schedule issued.",
+		Headers: []string{"n", "in-disk tests", "tests/n", "special", "spec/(3 ln n)", "update2", "sub-rounds", "max probe", "seq ms", "par ms"},
 	}
 	r := rng.New(seed)
 	for _, n := range sizes {
@@ -144,7 +146,7 @@ func SEBScaling(seed uint64, sizes []int) *Table {
 		t.Rows = append(t.Rows, []string{
 			it(n), i64(seqSt.InDiskTests), f3(float64(seqSt.InDiskTests) / float64(n)),
 			it(seqSt.Special), f2(float64(seqSt.Special) / (3 * math.Log(float64(n)))),
-			i64(seqSt.Update2Calls), it(parSt.SubRounds),
+			i64(seqSt.Update2Calls), it(parSt.SubRounds), it(parSt.MaxProbe),
 			ms(seqT), ms(parT),
 		})
 	}

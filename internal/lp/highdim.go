@@ -104,7 +104,10 @@ func solveRec(cons []ConstraintD, obj []float64, work *int64, par bool) ([]float
 	}
 
 	var aWork atomic.Int64
+	// The optimum x moves only when a violated constraint commits, so the
+	// hooks satisfy the SpecialOnce contract at every recursion level.
 	hooks := core.Type2Hooks{
+		SpecialOnce: true,
 		RunFirst: func() {
 			if len(cons) == 0 {
 				return
@@ -118,7 +121,6 @@ func solveRec(cons []ConstraintD, obj []float64, work *int64, par bool) ([]float
 			if infeasible {
 				return false
 			}
-			aWork.Add(1)
 			return cons[k].ViolatesD(x)
 		},
 		RunRegular: func(lo, hi int) {},
@@ -131,8 +133,10 @@ func solveRec(cons []ConstraintD, obj []float64, work *int64, par bool) ([]float
 			}
 		},
 	}
-	core.RunType2(len(cons), hooks)
-	*work += aWork.Load()
+	t2 := core.RunType2(len(cons), hooks)
+	// Charge the schedule's deterministic window accounting rather than
+	// per-call counts, which reservation pruning makes scheduling-dependent.
+	*work += aWork.Load() + t2.Checks
 	if infeasible {
 		return nil, false
 	}

@@ -44,6 +44,8 @@ type Stats struct {
 	OneDimWork int64 // constraints processed inside 1D LPs
 	Rounds     int   // prefix rounds of the parallel schedule (0 sequential)
 	SubRounds  int
+	MaxProbe   int // widest parallel side-test probe batch (parallel schedule)
+	MaxRegular int // largest regular block committed in one batch
 }
 
 // Bound is the half-width of the implicit bounding box. Optima are sought

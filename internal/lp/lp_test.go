@@ -53,6 +53,30 @@ func TestParSolveMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParSolveBatchedLarge pushes the batched reserve/commit schedule to a
+// prefix width where probes fan out on the pool; under -race it checks the
+// optimum publication between committing and probing goroutines.
+func TestParSolveBatchedLarge(t *testing.T) {
+	n := 60000
+	if testing.Short() {
+		n = 20000
+	}
+	r := rng.New(8)
+	cons := TangentConstraints(r, n)
+	cx, cy := RandomObjective(r)
+	seq, _ := Solve(cons, cx, cy)
+	par, parSt := ParSolve(cons, cx, cy)
+	if seq.Feasible != par.Feasible {
+		t.Fatalf("feasible seq=%v par=%v", seq.Feasible, par.Feasible)
+	}
+	if math.Abs(seq.Value-par.Value) > 1e-9*(1+math.Abs(seq.Value)) {
+		t.Fatalf("value seq=%.12f par=%.12f", seq.Value, par.Value)
+	}
+	if parSt.MaxProbe == 0 || parSt.MaxRegular == 0 {
+		t.Fatalf("batched schedule recorded no batches: %+v", parSt)
+	}
+}
+
 func TestInfeasible(t *testing.T) {
 	r := rng.New(3)
 	for trial := 0; trial < 10; trial++ {

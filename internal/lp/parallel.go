@@ -8,11 +8,13 @@ import (
 	"repro/internal/parallel"
 )
 
-// ParSolve runs the Type 2 parallel algorithm (Theorem 5.1): iterations are
-// processed in doubling prefixes (Algorithm 1); each sub-round checks the
-// whole remaining prefix against the current optimum in parallel, takes the
-// earliest violated constraint, and runs its one-dimensional LP with a
-// parallel min-reduction.
+// ParSolve runs the Type 2 parallel algorithm (Theorem 5.1): iterations
+// are processed in doubling prefixes (Algorithm 1); each sub-round probes
+// the live prefix against the current optimum with a parallel reservation
+// (doubling windows, earliest violated constraint wins) and runs the
+// winner's one-dimensional LP with a parallel min-reduction. The optimum
+// moves only at special iterations — regular commits are no-ops — so the
+// hooks declare SpecialOnce.
 func ParSolve(cons []Constraint, cx, cy float64) (Result, Stats) {
 	var st Stats
 	n := len(cons)
@@ -21,6 +23,7 @@ func ParSolve(cons []Constraint, cx, cy float64) (Result, Stats) {
 	var sideTests, oneDim atomic.Int64
 
 	hooks := core.Type2Hooks{
+		SpecialOnce: true,
 		RunFirst: func() {
 			if n == 0 {
 				return
@@ -41,7 +44,6 @@ func ParSolve(cons []Constraint, cx, cy float64) (Result, Stats) {
 			if infeasible {
 				return false
 			}
-			sideTests.Add(1)
 			return cons[k].Violates(x, y)
 		},
 		RunRegular: func(lo, hi int) {
@@ -67,7 +69,13 @@ func ParSolve(cons []Constraint, cx, cy float64) (Result, Stats) {
 	st.Special = t2.Special
 	st.Rounds = t2.Rounds
 	st.SubRounds = t2.SubRounds
-	st.SideTests = sideTests.Load()
+	st.MaxProbe = t2.MaxProbe
+	st.MaxRegular = t2.MaxRegular
+	// Side tests are charged from the schedule's deterministic window
+	// accounting (plus RunFirst's own test); the pooled reservation may
+	// prune per-constraint calls, so counting those would be
+	// scheduling-dependent.
+	st.SideTests = sideTests.Load() + t2.Checks
 	st.OneDimWork = oneDim.Load()
 	if infeasible {
 		return Result{Feasible: false}, st

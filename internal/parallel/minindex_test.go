@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func serialMinIndex(lo, hi int, pred func(i int) bool) (int, bool) {
+	for i := lo; i < hi; i++ {
+		if pred(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func TestReduceMinIndexMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(5000)
+		lo := r.Intn(100)
+		hi := lo + n
+		// Random sparse true-set, density swept from empty to dense.
+		density := r.Intn(64)
+		truth := make([]bool, hi)
+		for i := lo; i < hi; i++ {
+			truth[i] = density > 0 && r.Intn(64) < density
+		}
+		pred := func(i int) bool { return truth[i] }
+		wantIdx, wantOK := serialMinIndex(lo, hi, pred)
+		gotIdx, gotOK := ReduceMinIndex(lo, hi, 1+r.Intn(600), pred)
+		if gotOK != wantOK || (wantOK && gotIdx != wantIdx) {
+			t.Fatalf("trial %d [%d,%d): got (%d,%v) want (%d,%v)",
+				trial, lo, hi, gotIdx, gotOK, wantIdx, wantOK)
+		}
+	}
+}
+
+func TestReduceMinIndexEmptyAndNone(t *testing.T) {
+	if _, ok := ReduceMinIndex(5, 5, 0, func(int) bool { return true }); ok {
+		t.Fatal("empty range must report ok=false")
+	}
+	if _, ok := ReduceMinIndex(3, 1, 0, func(int) bool { return true }); ok {
+		t.Fatal("inverted range must report ok=false")
+	}
+	if _, ok := ReduceMinIndex(0, 100000, 16, func(int) bool { return false }); ok {
+		t.Fatal("all-false range must report ok=false")
+	}
+}
+
+func TestReduceMinIndexFirstAndLast(t *testing.T) {
+	n := 100000
+	if idx, ok := ReduceMinIndex(0, n, 16, func(i int) bool { return true }); !ok || idx != 0 {
+		t.Fatalf("all-true: got (%d,%v)", idx, ok)
+	}
+	if idx, ok := ReduceMinIndex(0, n, 16, func(i int) bool { return i == n-1 }); !ok || idx != n-1 {
+		t.Fatalf("last-only: got (%d,%v)", idx, ok)
+	}
+}
+
+// TestReduceMinIndexPrunes checks the reservation actually prunes: with an
+// early winner, far fewer predicates run than the range holds. The count is
+// nondeterministic, so the bound is loose; the point is that it is not ~n.
+func TestReduceMinIndexPrunes(t *testing.T) {
+	if MaxProcs() == 1 {
+		t.Skip("single-proc run evaluates serially with early exit")
+	}
+	n := 1 << 20
+	var calls atomic.Int64
+	idx, ok := ReduceMinIndex(0, n, 0, func(i int) bool {
+		calls.Add(1)
+		return i >= 10
+	})
+	if !ok || idx != 10 {
+		t.Fatalf("got (%d,%v)", idx, ok)
+	}
+	if c := calls.Load(); c > int64(n/2) {
+		t.Fatalf("%d of %d predicates evaluated; pruning ineffective", c, n)
+	}
+}
+
+// TestScanMinIndexWindows checks the doubling-window scan against the
+// serial oracle and its deterministic full-window charge accounting.
+func TestScanMinIndexWindows(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(3000)
+		lo := r.Intn(50)
+		hi := lo + n
+		truth := make([]bool, hi)
+		for i := lo; i < hi; i++ {
+			truth[i] = r.Intn(200) == 0
+		}
+		var charged int64
+		gotIdx, gotOK := ScanMinIndexWindows(lo, hi, 4,
+			func(width int) { charged += int64(width) },
+			func(i int) bool { return truth[i] })
+		wantIdx, wantOK := serialMinIndex(lo, hi, func(i int) bool { return truth[i] })
+		if gotOK != wantOK || (wantOK && gotIdx != wantIdx) {
+			t.Fatalf("trial %d: got (%d,%v) want (%d,%v)", trial, gotIdx, gotOK, wantIdx, wantOK)
+		}
+		// Windows are disjoint and clipped: no winner charges exactly the
+		// range; a winner at l charges at most min(hi-lo, 2(l-lo)+4).
+		if !wantOK {
+			if charged != int64(n) {
+				t.Fatalf("trial %d: charged %d for an exhausted scan of %d", trial, charged, n)
+			}
+		} else if lim := int64(2*(wantIdx-lo) + 4); charged > lim || charged > int64(n) {
+			t.Fatalf("trial %d: charged %d, limit min(%d,%d)", trial, charged, lim, n)
+		}
+	}
+}
+
+// TestReduceMinIndexConcurrentPred exercises the concurrent-pred contract
+// under the race detector: the predicate reads shared state published
+// before the call.
+func TestReduceMinIndexConcurrentPred(t *testing.T) {
+	n := 1 << 16
+	data := make([]int32, n)
+	for i := range data {
+		data[i] = int32(i % 977)
+	}
+	for want := 0; want < 5; want++ {
+		target := data[n-1-want*7]
+		idx, ok := ReduceMinIndex(0, n, 32, func(i int) bool { return data[i] == target })
+		if !ok {
+			t.Fatalf("target %d not found", target)
+		}
+		if data[idx] != target {
+			t.Fatalf("index %d holds %d, want %d", idx, data[idx], target)
+		}
+		if si, _ := serialMinIndex(0, n, func(i int) bool { return data[i] == target }); si != idx {
+			t.Fatalf("got %d want %d", idx, si)
+		}
+	}
+}

@@ -80,12 +80,12 @@ func MinIndexFunc[K Number](lo, hi int, keep func(i int) bool, key func(i int) K
 	return res.idx, res.ok
 }
 
-// FirstIndex returns the smallest i in [lo, hi) with pred(i) true, or hi if
-// none. All predicates are evaluated (this is the PRAM minimum, not a
-// short-circuiting scan); use it when pred is cheap and [lo,hi) is a prefix
-// being probed in bulk.
+// FirstIndex returns the smallest i in [lo, hi) with pred(i) true, or hi
+// if none. It delegates to ReduceMinIndex (indices must be non-negative),
+// so predicates that cannot win the reservation may be skipped; pred must
+// be safe for concurrent use and must not mutate shared state.
 func FirstIndex(lo, hi int, pred func(i int) bool) int {
-	idx, ok := MinIndexFunc(lo, hi, pred, func(i int) int { return i })
+	idx, ok := ReduceMinIndex(lo, hi, 0, pred)
 	if !ok {
 		return hi
 	}

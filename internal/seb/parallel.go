@@ -10,28 +10,18 @@ import (
 
 // earliestViolator finds the smallest k in [lo, hi) with pts[k] outside d,
 // scanning doubling windows so the expected work is proportional to the
-// position of the violator rather than the whole range. Returns -1 if none.
+// position of the violator rather than the whole range. Returns -1 if
+// none. Each probed window is charged in full to tests (the PRAM work),
+// so the count is deterministic even though the pooled reservation may
+// prune containment calls that cannot win.
 func earliestViolator(pts []geom.Point, d geom.Disk, lo, hi int, tests *atomic.Int64) int {
-	w := 4
-	for start := lo; start < hi; {
-		end := start + w
-		if end > hi {
-			end = hi
-		}
-		tests.Add(int64(end - start))
-		// MinIndexFunc reduces on the pool; windows below DefaultGrain run
-		// inline, so the doubling scan only pays for parallelism once the
-		// window is wide enough to use it.
-		idx, ok := parallel.MinIndexFunc(start, end,
-			func(k int) bool { return !d.Contains(pts[k]) },
-			func(k int) int { return k })
-		if ok {
-			return idx
-		}
-		start = end
-		w *= 2
+	idx, ok := parallel.ScanMinIndexWindows(lo, hi, 4,
+		func(width int) { tests.Add(int64(width)) },
+		func(k int) bool { return !d.Contains(pts[k]) })
+	if !ok {
+		return -1
 	}
-	return -1
+	return idx
 }
 
 // parUpdate1 is update1 with both scan levels replaced by parallel
@@ -69,8 +59,11 @@ func parUpdate2(pts []geom.Point, i, j int, tests *atomic.Int64) geom.Disk {
 
 // ParIncremental runs the Type 2 parallel algorithm (Theorem 5.3): the
 // special check depends only on the current disk, so the Algorithm 1
-// prefix schedule applies directly; special iterations run the parallel
-// Update1. The returned disk is identical to the sequential one.
+// reserve/commit schedule applies directly; special iterations run the
+// parallel Update1. The disk is written only by RunFirst and RunSpecial —
+// regular commits are no-ops — so the hooks declare SpecialOnce and the
+// runner probes the live prefix in batched doubling windows. The returned
+// disk is identical to the sequential one.
 func ParIncremental(pts []geom.Point) (geom.Disk, Stats) {
 	n := len(pts)
 	if n < 2 {
@@ -82,6 +75,7 @@ func ParIncremental(pts []geom.Point) (geom.Disk, Stats) {
 	var d geom.Disk
 
 	hooks := core.Type2Hooks{
+		SpecialOnce: true,
 		RunFirst: func() {
 			// Iterations are points; by the time iteration 1 is reached the
 			// disk of the first two points must exist. Treat iteration 0 as
@@ -93,7 +87,6 @@ func ParIncremental(pts []geom.Point) (geom.Disk, Stats) {
 			if k < 2 {
 				return false
 			}
-			tests.Add(1)
 			return !d.Contains(pts[k])
 		},
 		RunRegular: func(lo, hi int) {
@@ -107,7 +100,13 @@ func ParIncremental(pts []geom.Point) (geom.Disk, Stats) {
 	st.Special = t2.Special - 1 // discount the RunFirst pseudo-special
 	st.Rounds = t2.Rounds
 	st.SubRounds = t2.SubRounds
-	st.InDiskTests = tests.Load()
+	st.MaxProbe = t2.MaxProbe
+	st.MaxRegular = t2.MaxRegular
+	// Probe work is charged from the schedule's deterministic window
+	// accounting, not per containment call: the pooled reservation may
+	// prune calls that cannot win, and a scheduling-dependent counter
+	// would break the experiments' given-the-seed determinism.
+	st.InDiskTests = tests.Load() + t2.Checks
 	st.Update2Calls = update2Calls
 	return d, st
 }

@@ -25,6 +25,8 @@ type Stats struct {
 	InDiskTests  int64 // point-in-disk evaluations (the work measure)
 	Rounds       int   // prefix rounds of the parallel schedule
 	SubRounds    int
+	MaxProbe     int // widest parallel in-disk probe batch (parallel schedule)
+	MaxRegular   int // largest regular block committed in one batch
 }
 
 // Incremental computes the smallest enclosing disk of the points in slice

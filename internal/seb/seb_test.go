@@ -84,6 +84,36 @@ func TestTwoPoints(t *testing.T) {
 	}
 }
 
+// TestParIncrementalBatchedRace drives the batched reserve/commit schedule
+// with an input large enough that the prefix probes fan out on the worker
+// pool; under -race this exercises the publication ordering between
+// RunSpecial's disk writes on the committing goroutine and the concurrent
+// IsSpecial probes on pool workers. The result must still be bitwise equal
+// to the sequential run.
+func TestParIncrementalBatchedRace(t *testing.T) {
+	n := 50000
+	if testing.Short() {
+		n = 20000
+	}
+	pts := geom.UniformDisk(rng.New(42), n)
+	seq, seqSt := Incremental(pts)
+	par, parSt := ParIncremental(pts)
+	if seq != par {
+		t.Fatalf("disks differ: seq %+v par %+v", seq, par)
+	}
+	if seqSt.Special != parSt.Special {
+		t.Fatalf("special seq=%d par=%d", seqSt.Special, parSt.Special)
+	}
+	if parSt.SubRounds == 0 || parSt.MaxRegular == 0 || parSt.MaxProbe == 0 {
+		t.Fatalf("batched schedule recorded no batches: %+v", parSt)
+	}
+	// The windowed probe may skip tests the sequential scan performs, but
+	// the work must stay linear either way.
+	if parSt.InDiskTests > int64(60*n) {
+		t.Fatalf("parallel in-disk tests %d superlinear for n=%d", parSt.InDiskTests, n)
+	}
+}
+
 func TestLinearWork(t *testing.T) {
 	// Expected O(n) in-disk tests for the sequential algorithm.
 	r := rng.New(5)
