@@ -1,0 +1,162 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// (exit 1) when any benchmark present in both regressed beyond a
+// threshold. CI runs it after benchstat: benchstat renders the human
+// comparison, benchgate enforces the regression budget with no external
+// dependencies.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.15] [-match regexp] baseline.txt current.txt
+//
+// With -count > 1 runs, the minimum ns/op per benchmark is compared —
+// the most noise-robust statistic for a regression gate on shared CI
+// hosts. Benchmarks missing from either file are reported but do not
+// fail the gate (new benchmarks have no baseline yet).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	threshold := fs.Float64("threshold", 0.15, "allowed fractional ns/op regression (0.15 = +15%)")
+	match := fs.String("match", "", "only gate benchmarks whose name matches this regexp (default: all)")
+	minNs := fs.Float64("minns", 0, "only gate benchmarks whose baseline is at least this many ns/op (micro-benchmarks under the floor are too noisy for a hard gate)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(errOut, "usage: benchgate [-threshold f] [-match re] baseline.txt current.txt")
+		return 2
+	}
+	var filter *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(errOut, "benchgate: bad -match: %v\n", err)
+			return 2
+		}
+		filter = re
+	}
+	base, err := parseFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(errOut, "benchgate: %v\n", err)
+		return 2
+	}
+	cur, err := parseFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(errOut, "benchgate: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	compared := 0
+	for _, name := range names {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
+		if base[name] < *minNs {
+			fmt.Fprintf(out, "benchgate: %-60s below %.0fns floor (not gated)\n", name, *minNs)
+			continue
+		}
+		now, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(out, "benchgate: %-60s missing from current run (not gated)\n", name)
+			continue
+		}
+		compared++
+		ratio := now/base[name] - 1
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Fprintf(out, "benchgate: %-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, base[name], now, 100*ratio, status)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok && (filter == nil || filter.MatchString(name)) {
+			fmt.Fprintf(out, "benchgate: %-60s new benchmark (no baseline)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(errOut, "benchgate: no benchmarks in common; check the -match filter and inputs")
+		return 2
+	}
+	if failed > 0 {
+		fmt.Fprintf(errOut, "benchgate: %d of %d gated benchmarks regressed more than %.0f%%\n",
+			failed, compared, 100**threshold)
+		return 1
+	}
+	fmt.Fprintf(out, "benchgate: %d gated benchmarks within %.0f%%\n", compared, 100**threshold)
+	return 0
+}
+
+// parseFile returns the minimum ns/op per benchmark name in a
+// `go test -bench` output file. The -N GOMAXPROCS suffix is kept: runs at
+// different parallelism are different benchmarks.
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	best := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := best[name]; !seen || ns < prev {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return best, nil
+}
+
+// parseLine extracts (name, ns/op) from one benchmark result line, e.g.
+//
+//	BenchmarkType2SEB/n=65536-4   5   228123 ns/op   12 B/op ...
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return fields[0], ns, true
+		}
+	}
+	return "", 0, false
+}

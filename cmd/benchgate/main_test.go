@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseline = `goos: linux
+BenchmarkForUniform/n=1024-4     	 1000	  1000 ns/op
+BenchmarkForUniform/n=1024-4     	 1000	   900 ns/op
+BenchmarkType2SEB/n=65536-4      	    5	 50000 ns/op	 12 B/op
+BenchmarkHashtableInsert/impl=lockfree-4 	 3	 70000 ns/op
+`
+
+func gate(t *testing.T, current string, extra ...string) (string, string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	b := write(t, dir, "base.txt", baseline)
+	c := write(t, dir, "cur.txt", current)
+	var out, errOut bytes.Buffer
+	code := run(append(extra, b, c), &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestGatePasses(t *testing.T) {
+	out, errOut, code := gate(t, `
+BenchmarkForUniform/n=1024-4     	 1000	   950 ns/op
+BenchmarkType2SEB/n=65536-4      	    5	 52000 ns/op
+BenchmarkHashtableInsert/impl=lockfree-4 	 3	 60000 ns/op
+`)
+	if code != 0 {
+		t.Fatalf("code=%d\nout=%s\nerr=%s", code, out, errOut)
+	}
+	// min(1000, 900) = 900 is the baseline for ForUniform: +5.6% is ok.
+	if !strings.Contains(out, "3 gated benchmarks within 15%") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	out, errOut, code := gate(t, `
+BenchmarkForUniform/n=1024-4     	 1000	  2000 ns/op
+BenchmarkType2SEB/n=65536-4      	    5	 51000 ns/op
+BenchmarkHashtableInsert/impl=lockfree-4 	 3	 71000 ns/op
+`)
+	if code != 1 {
+		t.Fatalf("code=%d\nout=%s\nerr=%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(errOut, "1 of 3") {
+		t.Fatalf("out=%s\nerr=%s", out, errOut)
+	}
+}
+
+func TestGateThresholdAndMatch(t *testing.T) {
+	// +30% on Type2 passes with -threshold 0.5.
+	_, _, code := gate(t, `
+BenchmarkType2SEB/n=65536-4      	    5	 65000 ns/op
+BenchmarkForUniform/n=1024-4     	 1000	   900 ns/op
+BenchmarkHashtableInsert/impl=lockfree-4 	 3	 70000 ns/op
+`, "-threshold", "0.5")
+	if code != 0 {
+		t.Fatalf("threshold not honored: code=%d", code)
+	}
+	// The same +30% regression is invisible when -match excludes it.
+	out, _, code := gate(t, `
+BenchmarkType2SEB/n=65536-4      	    5	 65000 ns/op
+BenchmarkForUniform/n=1024-4     	 1000	   910 ns/op
+BenchmarkHashtableInsert/impl=lockfree-4 	 3	 70000 ns/op
+`, "-match", "ForUniform|Hashtable")
+	if code != 0 || !strings.Contains(out, "2 gated benchmarks") {
+		t.Fatalf("match not honored: code=%d out=%s", code, out)
+	}
+}
+
+func TestGateNewAndMissingBenchmarks(t *testing.T) {
+	// Missing-from-current and new-in-current are reported, not failed.
+	out, _, code := gate(t, `
+BenchmarkForUniform/n=1024-4     	 1000	   900 ns/op
+BenchmarkType2SEB/n=65536-4      	    5	 50000 ns/op
+BenchmarkBrandNew-4              	    5	   100 ns/op
+`)
+	if code != 0 {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+	if !strings.Contains(out, "missing from current run") || !strings.Contains(out, "new benchmark") {
+		t.Fatalf("reporting missing:\n%s", out)
+	}
+}
+
+func TestGateBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	empty := write(t, dir, "empty.txt", "no benchmarks here\n")
+	good := write(t, dir, "good.txt", baseline)
+	var out, errOut bytes.Buffer
+	if code := run([]string{empty, good}, &out, &errOut); code != 2 {
+		t.Fatalf("empty baseline accepted: %d", code)
+	}
+	if code := run([]string{"nonexistent.txt", good}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file accepted: %d", code)
+	}
+	if code := run([]string{good}, &out, &errOut); code != 2 {
+		t.Fatalf("one arg accepted: %d", code)
+	}
+	// Disjoint name sets: nothing in common is a configuration error.
+	other := write(t, dir, "other.txt", "BenchmarkOther-4 \t 5 \t 10 ns/op\n")
+	if code := run([]string{good, other}, &out, &errOut); code != 2 {
+		t.Fatalf("disjoint sets accepted: %d", code)
+	}
+}
+
+func TestGateMinNsFloor(t *testing.T) {
+	// A huge regression on a micro-benchmark under the floor is reported
+	// but not gated.
+	out, _, code := gate(t, `
+BenchmarkForUniform/n=1024-4     	 1000	  9000 ns/op
+BenchmarkType2SEB/n=65536-4      	    5	 50000 ns/op
+BenchmarkHashtableInsert/impl=lockfree-4 	 3	 70000 ns/op
+`, "-minns", "10000")
+	if code != 0 {
+		t.Fatalf("floor not honored: code=%d out=%s", code, out)
+	}
+	if !strings.Contains(out, "below 10000ns floor") || !strings.Contains(out, "2 gated benchmarks") {
+		t.Fatalf("floor reporting:\n%s", out)
+	}
+}

@@ -17,8 +17,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -34,12 +36,20 @@ func sizesUpTo(max int, start int) []int {
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: it parses args, dispatches the command,
+// and writes all output to out/errOut. The exit code is returned instead
+// of calling os.Exit, so smoke tests can invoke every mode in-process.
+func run(args []string, out, errOut io.Writer) int {
+	if len(args) < 1 {
+		usage(errOut)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	seed := fs.Uint64("seed", 1, "random seed (all experiments are deterministic given the seed)")
 	procs := fs.Int("procs", 0, "worker count for the run (sets GOMAXPROCS; 0 keeps the environment's value)")
 	row := fs.String("row", "", "table1 only: a single row (sort|dt|lp|cp|seb|lelists|scc)")
@@ -47,8 +57,11 @@ func main() {
 	n := fs.Int("n", 4096, "input size for single-size experiments")
 	maxN := fs.Int("max", 1<<17, "largest n for scaling sweeps")
 	trials := fs.Int("trials", 10, "trials per configuration")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/--help is a successful exit, as under ExitOnError
+		}
+		return 2
 	}
 	if *procs > 0 {
 		// The parallel pool sizes itself from GOMAXPROCS at submit time, so
@@ -57,12 +70,13 @@ func main() {
 		runtime.GOMAXPROCS(*procs)
 	}
 
-	fmt.Printf("ridt: GOMAXPROCS=%d seed=%d\n\n", runtime.GOMAXPROCS(0), *seed)
+	fmt.Fprintf(out, "ridt: GOMAXPROCS=%d seed=%d\n\n", runtime.GOMAXPROCS(0), *seed)
 
 	print := func(t *experiments.Table) {
-		fmt.Println(t.String())
+		fmt.Fprintln(out, t.String())
 	}
 
+	bad := false
 	var table1 func(which string)
 	table1 = func(which string) {
 		geomSizes := sizesUpTo(*maxN, 1024)
@@ -89,8 +103,8 @@ func main() {
 				table1(w)
 			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown table1 row %q\n", which)
-			os.Exit(2)
+			fmt.Fprintf(errOut, "unknown table1 row %q\n", which)
+			bad = true
 		}
 	}
 
@@ -124,16 +138,20 @@ func main() {
 		print(experiments.SCCWorkloads(*seed, *n))
 		print(experiments.ShuffleDepth(*seed, sizesUpTo(1<<16, 1024)))
 	case "-h", "--help", "help":
-		usage()
+		usage(errOut)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", cmd)
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(errOut, "unknown command %q\n\n", cmd)
+		usage(errOut)
+		return 2
 	}
+	if bad {
+		return 2
+	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage: ridt <command> [flags]
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: ridt <command> [flags]
 
 commands:
   table1     regenerate Table 1 (all rows, or -row sort|dt|lp|cp|seb|lelists|scc)

@@ -1,0 +1,93 @@
+package main
+
+// Smoke tests for the driver: flag parsing and one tiny in-process run per
+// mode, so a broken experiment entry point fails `go test ./...` instead
+// of surfacing only when someone regenerates the artifacts.
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+// TestModesSmoke runs every experiment mode once at the smallest sizes the
+// size schedules allow.
+func TestModesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not -short")
+	}
+	cases := [][]string{
+		{"table1", "-row", "sort", "-max", "1024"},
+		{"table1", "-row", "dt", "-max", "512"},
+		{"table1", "-row", "lp", "-max", "1024"},
+		{"table1", "-row", "cp", "-max", "1024"},
+		{"table1", "-row", "seb", "-max", "1024"},
+		{"table1", "-row", "lelists", "-max", "512"},
+		{"table1", "-row", "scc", "-max", "512"},
+		{"incircle", "-max", "512", "-trials", "1"},
+		{"depth", "-alg", "sort", "-n", "512", "-trials", "1"},
+		{"depth", "-alg", "dt", "-n", "256", "-trials", "1"},
+		{"special", "-max", "1024", "-trials", "1"},
+		{"deps", "-max", "1024", "-trials", "1"},
+		{"sccsweep", "-n", "256"},
+		{"gks", "-max", "512"},
+		{"shuffle", "-max", "1024"},
+	}
+	for _, args := range cases {
+		args := args
+		t.Run(strings.Join(args, "_"), func(t *testing.T) {
+			out, errOut, code := runCapture(t, args...)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errOut)
+			}
+			if !strings.Contains(out, "ridt: GOMAXPROCS=") {
+				t.Fatalf("missing banner in output: %q", out)
+			}
+			// Every mode prints at least one table after the banner.
+			if len(strings.TrimSpace(strings.SplitN(out, "\n", 2)[1])) == 0 {
+				t.Fatalf("mode produced no table: %q", out)
+			}
+		})
+	}
+}
+
+// TestFlagParsing covers the argument-handling paths that do not run
+// experiments.
+func TestFlagParsing(t *testing.T) {
+	if _, errOut, code := runCapture(t); code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("no args: code=%d stderr=%q", code, errOut)
+	}
+	if _, errOut, code := runCapture(t, "bogus"); code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Fatalf("unknown command: code=%d stderr=%q", code, errOut)
+	}
+	if _, errOut, code := runCapture(t, "table1", "-row", "bogus", "-max", "1024"); code != 2 ||
+		!strings.Contains(errOut, "unknown table1 row") {
+		t.Fatalf("unknown row: code=%d stderr=%q", code, errOut)
+	}
+	if _, _, code := runCapture(t, "table1", "-notaflag"); code != 2 {
+		t.Fatalf("bad flag accepted: code=%d", code)
+	}
+	if _, errOut, code := runCapture(t, "help"); code != 0 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("help: code=%d stderr=%q", code, errOut)
+	}
+	// Per-subcommand -h prints the flag set's usage and exits 0, matching
+	// the old ExitOnError behavior.
+	if _, errOut, code := runCapture(t, "table1", "-h"); code != 0 || !strings.Contains(errOut, "-row") {
+		t.Fatalf("table1 -h: code=%d stderr=%q", code, errOut)
+	}
+	// -procs is parsed and the banner reflects it (restore after: it sets
+	// the process-wide GOMAXPROCS).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	out, _, code := runCapture(t, "shuffle", "-max", "1024", "-procs", "2")
+	if code != 0 || !strings.Contains(out, "GOMAXPROCS=2") {
+		t.Fatalf("-procs: code=%d out=%q", code, out)
+	}
+}

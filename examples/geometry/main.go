@@ -10,6 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/closestpair"
@@ -23,22 +25,28 @@ func main() {
 	n := flag.Int("n", 50000, "constraints / customers")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
-	r := rng.New(*seed)
+	run(*n, *seed, os.Stdout)
+}
 
-	fmt.Printf("geometry pipeline: n=%d seed=%d\n\n", *n, *seed)
+// run is the testable example body; the smoke test drives it with a tiny n.
+// It panics if any result fails its cross-check.
+func run(n int, seed uint64, w io.Writer) {
+	r := rng.New(seed)
+
+	fmt.Fprintf(w, "geometry pipeline: n=%d seed=%d\n\n", n, seed)
 
 	// --- 2D linear programming -------------------------------------------
-	cons := lp.TangentConstraints(r, *n)
+	cons := lp.TangentConstraints(r, n)
 	cx, cy := lp.RandomObjective(r)
 	start := time.Now()
 	res, st := lp.ParSolve(cons, cx, cy)
-	fmt.Printf("LP (%d constraints): ", *n)
+	fmt.Fprintf(w, "LP (%d constraints): ", n)
 	if !res.Feasible {
-		fmt.Println("infeasible")
+		fmt.Fprintln(w, "infeasible")
 	} else {
-		fmt.Printf("optimum (%.5f, %.5f) value %.5f\n", res.X, res.Y, res.Value)
+		fmt.Fprintf(w, "optimum (%.5f, %.5f) value %.5f\n", res.X, res.Y, res.Value)
 	}
-	fmt.Printf("  %v, %d tight (special) constraints, %d sub-rounds, %d work units\n",
+	fmt.Fprintf(w, "  %v, %d tight (special) constraints, %d sub-rounds, %d work units\n",
 		time.Since(start).Round(time.Microsecond), st.Special, st.SubRounds,
 		st.SideTests+st.OneDimWork)
 	seqRes, _ := lp.Solve(cons, cx, cy)
@@ -47,32 +55,32 @@ func main() {
 	}
 
 	// An infeasible market for contrast.
-	bad := lp.InfeasibleConstraints(r, *n)
+	bad := lp.InfeasibleConstraints(r, n)
 	if res2, _ := lp.ParSolve(bad, cx, cy); res2.Feasible {
 		panic("infeasible program reported feasible")
 	}
-	fmt.Printf("  infeasible variant correctly rejected\n\n")
+	fmt.Fprintf(w, "  infeasible variant correctly rejected\n\n")
 
 	// --- Smallest enclosing disk ------------------------------------------
-	customers := geom.Dedup(geom.GaussianCluster(r, *n, 12, 0.05))
+	customers := geom.Dedup(geom.GaussianCluster(r, n, 12, 0.05))
 	start = time.Now()
 	disk, sebSt := seb.ParIncremental(customers)
-	fmt.Printf("service hub for %d customers: center (%.4f, %.4f), radius %.4f\n",
+	fmt.Fprintf(w, "service hub for %d customers: center (%.4f, %.4f), radius %.4f\n",
 		len(customers), disk.Center.X, disk.Center.Y, disk.Radius())
-	fmt.Printf("  %v, %d special iterations, %d in-disk tests (%.1f per customer)\n",
+	fmt.Fprintf(w, "  %v, %d special iterations, %d in-disk tests (%.1f per customer)\n",
 		time.Since(start).Round(time.Microsecond), sebSt.Special, sebSt.InDiskTests,
 		float64(sebSt.InDiskTests)/float64(len(customers)))
 
 	// --- Closest pair -------------------------------------------------------
 	start = time.Now()
 	pair, cpSt := closestpair.ParIncremental(customers)
-	fmt.Printf("closest customers: %d and %d at distance %.6f\n", pair.I, pair.J, pair.Dist)
-	fmt.Printf("  %v, %d grid rebuilds, %.1f distance checks per customer\n",
+	fmt.Fprintf(w, "closest customers: %d and %d at distance %.6f\n", pair.I, pair.J, pair.Dist)
+	fmt.Fprintf(w, "  %v, %d grid rebuilds, %.1f distance checks per customer\n",
 		time.Since(start).Round(time.Microsecond), cpSt.Special,
 		float64(cpSt.DistChecks)/float64(len(customers)))
 
 	if dc := closestpair.DivideAndConquer(customers); dc.Dist != pair.Dist {
 		panic("closest pair disagrees with divide and conquer")
 	}
-	fmt.Println("\nall results cross-checked ✓")
+	fmt.Fprintln(w, "\nall results cross-checked ✓")
 }

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the geometry pipeline end to end at a tiny size; the
+// internal cross-checks panic on any disagreement.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	run(500, 1, &out)
+	if !strings.Contains(out.String(), "all results cross-checked") {
+		t.Fatalf("missing cross-check line:\n%s", out.String())
+	}
+}

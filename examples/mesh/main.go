@@ -13,7 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"time"
 
 	"repro/internal/delaunay"
@@ -26,16 +28,22 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	workload := flag.String("workload", "grid", "point distribution: grid or uniform")
 	flag.Parse()
-	r := rng.New(*seed)
+	run(*n, *seed, *workload, os.Stdout)
+}
+
+// run is the testable example body; the smoke test drives both workloads
+// at a tiny n.
+func run(n int, seed uint64, workload string, w io.Writer) {
+	r := rng.New(seed)
 
 	var pts []geom.Point
-	switch *workload {
+	switch workload {
 	case "grid":
-		pts = geom.GridJitter(r, *n, 0.6)
+		pts = geom.GridJitter(r, n, 0.6)
 	case "uniform":
-		pts = geom.UniformSquare(r, *n)
+		pts = geom.UniformSquare(r, n)
 	default:
-		panic("unknown workload " + *workload)
+		panic("unknown workload " + workload)
 	}
 	pts = geom.Dedup(pts)
 	// Insertion order must be random for the probabilistic guarantees.
@@ -45,7 +53,7 @@ func main() {
 		shuffled[i] = pts[p]
 	}
 
-	fmt.Printf("mesh: workload=%s n=%d seed=%d\n\n", *workload, len(pts), *seed)
+	fmt.Fprintf(w, "mesh: workload=%s n=%d seed=%d\n\n", workload, len(pts), seed)
 
 	start := time.Now()
 	mesh := delaunay.ParTriangulate(shuffled)
@@ -53,12 +61,12 @@ func main() {
 	inner := mesh.InnerTriangles()
 	nlogn := float64(len(pts)) * math.Log(float64(len(pts)))
 
-	fmt.Printf("triangulated in %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("  final triangles: %d (%d interior)\n", len(mesh.Triangles), len(inner))
-	fmt.Printf("  triangles created (incl. transient): %d\n", mesh.Stats.TrianglesCreated)
-	fmt.Printf("  InCircle tests: %d = %.1f n ln n   (Theorem 4.5 bound: 24 n ln n)\n",
+	fmt.Fprintf(w, "triangulated in %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  final triangles: %d (%d interior)\n", len(mesh.Triangles), len(inner))
+	fmt.Fprintf(w, "  triangles created (incl. transient): %d\n", mesh.Stats.TrianglesCreated)
+	fmt.Fprintf(w, "  InCircle tests: %d = %.1f n ln n   (Theorem 4.5 bound: 24 n ln n)\n",
 		mesh.Stats.InCircleTests, float64(mesh.Stats.InCircleTests)/nlogn)
-	fmt.Printf("  dependence depth: %d rounds = %.1f log2(n)   (Theorem 4.3: O(log n))\n",
+	fmt.Fprintf(w, "  dependence depth: %d rounds = %.1f log2(n)   (Theorem 4.3: O(log n))\n",
 		mesh.Stats.DepDepth, float64(mesh.Stats.DepDepth)/math.Log2(float64(len(pts))))
 
 	// Mesh quality: minimum angle per interior triangle.
@@ -75,12 +83,12 @@ func main() {
 		}
 		hist[b]++
 	}
-	fmt.Printf("\nmesh quality (min angle per interior triangle, degrees):\n")
+	fmt.Fprintf(w, "\nmesh quality (min angle per interior triangle, degrees):\n")
 	for b, c := range hist {
-		fmt.Printf("  %4.1f-%4.1f: %6d %s\n", float64(b)*7.5, float64(b+1)*7.5, c,
+		fmt.Fprintf(w, "  %4.1f-%4.1f: %6d %s\n", float64(b)*7.5, float64(b+1)*7.5, c,
 			bar(c, len(inner)))
 	}
-	fmt.Printf("  worst angle: %.2f°\n", worst)
+	fmt.Fprintf(w, "  worst angle: %.2f°\n", worst)
 }
 
 func minAngle(a, b, c geom.Point) float64 {

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke triangulates both workloads at a tiny size.
+func TestRunSmoke(t *testing.T) {
+	for _, workload := range []string{"grid", "uniform"} {
+		var out bytes.Buffer
+		run(400, 1, workload, &out)
+		s := out.String()
+		if !strings.Contains(s, "final triangles:") || !strings.Contains(s, "worst angle:") {
+			t.Fatalf("workload %s: incomplete output:\n%s", workload, s)
+		}
+	}
+}

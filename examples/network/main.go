@@ -20,7 +20,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"sort"
 	"time"
 
@@ -35,18 +37,24 @@ func main() {
 	n := flag.Int("n", 30000, "vertices of the power-law web graph")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
-	r := rng.New(*seed)
+	run(*side, *n, *seed, os.Stdout)
+}
+
+// run is the testable example body; the smoke test drives it with a tiny
+// grid and web graph. It panics if the parallel SCC disagrees with Tarjan.
+func run(side, n int, seed uint64, w io.Writer) {
+	r := rng.New(seed)
 
 	// --- LE-lists on a road-like weighted grid ---------------------------
 	// Grid ids are row-major, which is not a random priority order; the
 	// paper's bounds require one, so relabel with a random permutation.
-	g, _ := graph.RandomRelabel(graph.Grid2D(*side, *side, true, r), r)
+	g, _ := graph.RandomRelabel(graph.Grid2D(side, side, true, r), r)
 	nv := g.N
-	fmt.Printf("road network: %d vertices, %d edges (weighted grid, randomized priorities)\n", nv, g.M())
+	fmt.Fprintf(w, "road network: %d vertices, %d edges (weighted grid, randomized priorities)\n", nv, g.M())
 
 	start := time.Now()
 	lists, st := lelists.Parallel(g)
-	fmt.Printf("LE-lists built in %v: %d rounds, %d search work, max %d visits/vertex (ln n = %.1f)\n",
+	fmt.Fprintf(w, "LE-lists built in %v: %d rounds, %d search work, max %d visits/vertex (ln n = %.1f)\n",
 		time.Since(start).Round(time.Millisecond), st.Rounds, st.SearchWork,
 		st.MaxPerVert, math.Log(float64(nv)))
 
@@ -54,25 +62,25 @@ func main() {
 	for _, l := range lists {
 		totalLen += len(l)
 	}
-	fmt.Printf("average list length: %.2f (theory: ~ln n whp)\n\n", float64(totalLen)/float64(nv))
+	fmt.Fprintf(w, "average list length: %.2f (theory: ~ln n whp)\n\n", float64(totalLen)/float64(nv))
 
 	// Landmark sketch queries: after the random relabeling, the first k
 	// vertices are a uniform random landmark set. L(u) answers "which of
 	// the first k landmarks is closest to u, and how far?" by scanning the
 	// O(log n) list instead of the graph.
-	fmt.Println("landmark queries from the sketch (vertex -> closest of first k landmarks):")
+	fmt.Fprintln(w, "landmark queries from the sketch (vertex -> closest of first k landmarks):")
 	for _, k := range []int{1, 16, 256, nv} {
 		u := nv / 2
 		lm, dist := closestLandmark(lists[u], k)
-		fmt.Printf("  u=%d k=%-6d -> landmark %-6d dist %.2f\n", u, k, lm, dist)
+		fmt.Fprintf(w, "  u=%d k=%-6d -> landmark %-6d dist %.2f\n", u, k, lm, dist)
 	}
 
 	// --- SCC on a power-law web graph ------------------------------------
-	web := graph.PowerLawDirected(r, *n, 4)
-	fmt.Printf("\nweb graph: %d vertices, %d edges (power law)\n", web.N, web.M())
+	web := graph.PowerLawDirected(r, n, 4)
+	fmt.Fprintf(w, "\nweb graph: %d vertices, %d edges (power law)\n", web.N, web.M())
 	start = time.Now()
 	labels, sccSt := scc.Parallel(web)
-	fmt.Printf("SCC decomposition in %v: %d components, %d reachability rounds, %d edge scans\n",
+	fmt.Fprintf(w, "SCC decomposition in %v: %d components, %d reachability rounds, %d edge scans\n",
 		time.Since(start).Round(time.Millisecond), scc.CountSCCs(labels), sccSt.Rounds, sccSt.ReachWork)
 
 	if want := scc.Tarjan(web); !scc.SamePartition(labels, want) {
@@ -87,9 +95,9 @@ func main() {
 		sorted = append(sorted, s)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
-	fmt.Printf("largest components: ")
+	fmt.Fprintf(w, "largest components: ")
 	for i := 0; i < len(sorted) && i < 5; i++ {
-		fmt.Printf("%d ", sorted[i])
+		fmt.Fprintf(w, "%d ", sorted[i])
 	}
 	singletons := 0
 	for _, s := range sorted {
@@ -97,8 +105,8 @@ func main() {
 			singletons++
 		}
 	}
-	fmt.Printf("...  (%d singletons)\n", singletons)
-	fmt.Println("\nparallel SCC verified against Tarjan ✓")
+	fmt.Fprintf(w, "...  (%d singletons)\n", singletons)
+	fmt.Fprintln(w, "\nparallel SCC verified against Tarjan ✓")
 }
 
 // closestLandmark answers a sketch query: among vertices 0..k-1, the one

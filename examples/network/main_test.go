@@ -1,0 +1,17 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke builds LE-lists on a small grid and SCCs on a small web
+// graph; run panics if the parallel SCC disagrees with Tarjan.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	run(8, 500, 1, &out)
+	if !strings.Contains(out.String(), "parallel SCC verified against Tarjan") {
+		t.Fatalf("missing verification line:\n%s", out.String())
+	}
+}

@@ -9,6 +9,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/bstsort"
@@ -22,19 +24,25 @@ func main() {
 	n := flag.Int("n", 100000, "input size")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
-	r := rng.New(*seed)
+	run(*n, *seed, os.Stdout)
+}
 
-	fmt.Printf("quickstart: n=%d seed=%d\n\n", *n, *seed)
+// run is the testable example body; the smoke test drives it with a tiny n.
+// It panics if any parallel result disagrees with its sequential check.
+func run(n int, seed uint64, w io.Writer) {
+	r := rng.New(seed)
+
+	fmt.Fprintf(w, "quickstart: n=%d seed=%d\n\n", n, seed)
 
 	// 1. Sorting by parallel incremental BST insertion (Section 3).
-	keys := make([]float64, *n)
+	keys := make([]float64, n)
 	for i := range keys {
 		keys[i] = r.Float64()
 	}
 	start := time.Now()
 	tree, st := bstsort.ParInsert(keys)
 	sorted := tree.InOrder()
-	fmt.Printf("sort:         %d keys in %v (dependence depth %d rounds, %d comparisons)\n",
+	fmt.Fprintf(w, "sort:         %d keys in %v (dependence depth %d rounds, %d comparisons)\n",
 		len(sorted), time.Since(start).Round(time.Microsecond), st.Rounds, st.Comparisons)
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] < sorted[i-1] {
@@ -43,10 +51,10 @@ func main() {
 	}
 
 	// 2. Closest pair with the incremental grid (Section 5.2).
-	pts := geom.Dedup(geom.UniformSquare(r, *n))
+	pts := geom.Dedup(geom.UniformSquare(r, n))
 	start = time.Now()
 	cp, cpSt := closestpair.ParIncremental(pts)
-	fmt.Printf("closest pair: (%d, %d) at distance %.3g in %v (%d grid rebuilds)\n",
+	fmt.Fprintf(w, "closest pair: (%d, %d) at distance %.3g in %v (%d grid rebuilds)\n",
 		cp.I, cp.J, cp.Dist, time.Since(start).Round(time.Microsecond), cpSt.Special)
 	seqCP, _ := closestpair.Incremental(pts)
 	if seqCP != cp {
@@ -56,7 +64,7 @@ func main() {
 	// 3. Smallest enclosing disk (Section 5.3).
 	start = time.Now()
 	disk, sebSt := seb.ParIncremental(pts)
-	fmt.Printf("enclosing disk: center (%.4f, %.4f) radius %.4f in %v (%d special iterations)\n",
+	fmt.Fprintf(w, "enclosing disk: center (%.4f, %.4f) radius %.4f in %v (%d special iterations)\n",
 		disk.Center.X, disk.Center.Y, disk.Radius(),
 		time.Since(start).Round(time.Microsecond), sebSt.Special)
 	for _, p := range pts {
@@ -64,5 +72,5 @@ func main() {
 			panic("disk does not contain all points")
 		}
 	}
-	fmt.Println("\nall parallel results verified against sequential/bounds ✓")
+	fmt.Fprintln(w, "\nall parallel results verified against sequential/bounds ✓")
 }

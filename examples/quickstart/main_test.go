@@ -1,0 +1,17 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the example end to end at a tiny size; the internal
+// cross-checks panic on any parallel/sequential disagreement.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	run(500, 1, &out)
+	if !strings.Contains(out.String(), "all parallel results verified") {
+		t.Fatalf("missing verification line:\n%s", out.String())
+	}
+}

@@ -70,17 +70,20 @@ func neighborKeysD(p PointD, r float64, buf []uint64) []uint64 {
 // distance < r is among the 3^d neighbors and hashing is deterministic.
 type gridD struct {
 	r     float64
-	cells *hashtable.Map[uint64, []int32]
+	cells *hashtable.LockFree[uint64, []int32]
 }
 
 func newGridD(r float64, capacity int) *gridD {
-	return &gridD{r: r, cells: hashtable.New[uint64, []int32](4*parallel.MaxProcs(), capacity,
+	// cellKeyD is already FNV-mixed, and the lock-free table applies its
+	// own finalizing mix, so the identity hasher is safe here.
+	return &gridD{r: r, cells: hashtable.NewLockFree[uint64, []int32](capacity,
 		func(k uint64) uint64 { return k })}
 }
 
 func (g *gridD) insert(pts []PointD, i int32) {
+	// Copy-on-write append, as the lock-free Update contract requires.
 	g.cells.Update(cellKeyD(pts[i], g.r), func(old []int32, _ bool) []int32 {
-		return append(old, i)
+		return appendCell(old, i)
 	})
 }
 

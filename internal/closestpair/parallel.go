@@ -10,26 +10,39 @@ import (
 )
 
 // parGrid is the concurrent grid used by ParIncremental: cells live in a
-// sharded hash map so whole prefixes can be inserted in parallel and
+// lock-free hash table so whole prefixes can be inserted in parallel and
 // checked concurrently.
 type parGrid struct {
 	r     float64
-	cells *hashtable.Map[uint64, []int32]
+	cells *hashtable.LockFree[uint64, []int32]
 }
 
 func newParGrid(r float64, capacity int) *parGrid {
+	// Identity hasher: the lock-free table applies its own finalizing
+	// Mix64 to spread the packed cell coordinates.
 	return &parGrid{
 		r: r,
-		cells: hashtable.New[uint64, []int32](4*parallel.MaxProcs(), capacity,
-			func(k uint64) uint64 { return hashtable.Mix64(k) }),
+		cells: hashtable.NewLockFree[uint64, []int32](capacity,
+			func(k uint64) uint64 { return k }),
 	}
 }
 
 func (g *parGrid) insert(pts []geom.Point, i int32) {
 	qx, qy := quantize(pts[i], g.r)
+	// Copy-on-write append: the lock-free Update retries on CAS races, so
+	// the function must not mutate the old slice in place (appendCell).
 	g.cells.Update(cellKey(qx, qy), func(old []int32, _ bool) []int32 {
-		return append(old, i)
+		return appendCell(old, i)
 	})
+}
+
+// appendCell returns a fresh slice with i appended, leaving old untouched.
+// Cells hold O(1) points in expectation, so the copy is constant work.
+func appendCell(old []int32, i int32) []int32 {
+	ns := make([]int32, len(old)+1)
+	copy(ns, old)
+	ns[len(old)] = i
+	return ns
 }
 
 // nearestBefore returns the minimum distance from pts[i] to 3x3-neighborhood

@@ -31,8 +31,15 @@ type fire struct {
 // D(G_T(V)) = O(d log n) whp (Theorem 4.3).
 func ParTriangulate(pts []geom.Point) *Mesh {
 	s := newStore(pts)
-	faces := hashtable.New[uint64, faceEntry](4*parallel.MaxProcs(), 8*len(pts)+16,
-		func(k uint64) uint64 { return hashtable.Mix64(k) })
+	// The face map is the hot path: a lock-free table (see
+	// hashtable/DESIGN.md) whose Update is a pure CAS read-modify-write.
+	// faceEntry is a value struct, so the update functions below are pure
+	// as the lock-free contract requires. The identity hasher suffices:
+	// the table applies its own finalizing Mix64 to spread packed face
+	// keys. Pre-sizing covers the common case; growth is cooperative if a
+	// workload overflows it.
+	faces := hashtable.NewLockFree[uint64, faceEntry](8*len(pts)+16,
+		func(k uint64) uint64 { return k })
 	// Seed the map with the bounding triangle's three faces.
 	tb := s.tris[0]
 	candidates := make([]uint64, 0, 3)

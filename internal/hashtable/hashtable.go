@@ -1,13 +1,38 @@
-// Package hashtable provides a sharded, lock-based concurrent hash map.
+// Package hashtable provides the concurrent hash tables behind the
+// Delaunay face map, the closest-pair grids, and the SCC combine.
 //
 // The paper's parallel algorithms assume a work-efficient parallel hash
-// table (Gil, Matias & Vishkin) for the Delaunay face map and the
-// closest-pair grid. A sharded map with per-shard mutexes provides the same
-// linear work with contention spread across shards; shard count is a design
-// ablation (see DESIGN.md).
+// table (Gil, Matias & Vishkin). Two implementations of the shared Table
+// interface are provided: LockFree, a growable phase-concurrent
+// open-addressing table (CAS-claimed linear-probing slots, cooperative
+// migration) used on the hot paths, and Map, a sharded mutex map kept as
+// the reference implementation and equivalence-test oracle. DESIGN.md in
+// this directory has the full protocol and the sharded-vs-lock-free
+// ablation.
 package hashtable
 
 import "sync"
+
+// Table is the operation set the consumers program against; Map and
+// LockFree both implement it. Update-style callbacks must be pure for
+// LockFree (they may be retried; see LockFree's doc comment), and the bulk
+// operations Len/Range/Clear are phase operations on LockFree.
+type Table[K comparable, V any] interface {
+	Load(k K) (V, bool)
+	Store(k K, v V)
+	Delete(k K)
+	Update(k K, f func(old V, ok bool) V)
+	UpdateAndGet(k K, f func(old V, ok bool) V) V
+	LoadOrStore(k K, v V) (actual V, loaded bool)
+	Len() int
+	Range(f func(k K, v V) bool)
+	Clear()
+}
+
+var (
+	_ Table[int, int] = (*Map[int, int])(nil)
+	_ Table[int, int] = (*LockFree[int, int])(nil)
+)
 
 // Hasher maps a key to a 64-bit hash. Implementations must be deterministic
 // and spread keys well across the low bits.

@@ -1,0 +1,632 @@
+package hashtable
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// This file implements the lock-free growable table. See DESIGN.md for the
+// full protocol and the ablation against the sharded Map.
+//
+// Layout: open addressing with linear probing. A slot is claimed for a key
+// with a CAS on its state word (empty -> busy -> full); once full, a slot's
+// key never changes and the slot is never freed, so probe chains only grow
+// and a probe that reaches an empty slot has proven absence. The value
+// lives in an atomic pointer to an immutable box; Store/Update/Delete are
+// CAS loops that swap whole boxes (deletion is a value-level tombstone that
+// keeps the probe chain intact).
+//
+// Growth: when the claim count passes the load limit, a double-size table
+// is linked via next and every thread that touches the table helps migrate:
+// migration chunks are claimed with an atomic counter (the same dynamic
+// self-scheduling as the parallel pool), empty slots are poisoned
+// (empty -> moved) so late inserts cannot land behind the sweep, and full
+// slots have their box swapped for a frozen moved copy whose value is then
+// installed into the next table if the key is not already there. Any
+// operation that encounters a moved box first completes that key's
+// migration itself, so no update can be lost between freeze and install.
+// When the last chunk finishes, the root pointer advances.
+
+// Slot states. Transitions: empty -> busy -> full (claim), and
+// empty -> moved (migration poisoning). full slots stay full; their
+// migration status lives in the value box.
+const (
+	slotEmpty uint32 = iota
+	slotBusy         // key being published by a claimer
+	slotFull         // key readable; value box holds the rest of the state
+	slotMoved        // poisoned empty slot: key absent here, look in next
+)
+
+// lfBox is an immutable value cell. del marks a tombstone (key present in
+// the probe chain, mapping absent). moved freezes the box during
+// migration: v (unless del) is the value as of the freeze and all later
+// operations on the key happen in the next table. ghost marks the freeze
+// of a claimed slot whose value had not been published yet: unlike a
+// frozen tombstone (del, !ghost), a ghost says the key was never present
+// in this table, so a pending install for it must carry on to the next
+// table rather than be dropped.
+type lfBox[V any] struct {
+	v     V
+	del   bool
+	moved bool
+	ghost bool
+}
+
+type lfSlot[K comparable, V any] struct {
+	state atomic.Uint32
+	key   K
+	val   atomic.Pointer[lfBox[V]]
+}
+
+// migrateChunk is the number of slots one migration claim covers; small
+// enough that per-operation helpers finish a chunk quickly, large enough to
+// amortize the claim.
+const migrateChunk = 256
+
+type lfTable[K comparable, V any] struct {
+	slots  []lfSlot[K, V]
+	mask   uint64
+	limit  int64        // claim count that triggers growth (3/4 of capacity)
+	claims atomic.Int64 // slots ever claimed (live + tombstoned keys)
+
+	next     atomic.Pointer[lfTable[K, V]]
+	migClaim atomic.Int64 // next unclaimed migration chunk
+	migDone  atomic.Int64 // chunks fully migrated
+	nchunks  int64
+}
+
+func newLFTable[K comparable, V any](capacity int) *lfTable[K, V] {
+	n := 8
+	for n < capacity {
+		n *= 2
+	}
+	return &lfTable[K, V]{
+		slots:   make([]lfSlot[K, V], n),
+		mask:    uint64(n - 1),
+		limit:   int64(n) * 3 / 4,
+		nchunks: int64((n + migrateChunk - 1) / migrateChunk),
+	}
+}
+
+// LockFree is a lock-free, growable, phase-concurrent hash table. Any mix
+// of Load/Store/Delete/Update/UpdateAndGet/LoadOrStore may run from any
+// number of goroutines, including across a growth; the bulk operations
+// (Len, Range, Clear) are phase operations that must not run concurrently
+// with mutators.
+//
+// Unlike Map, update functions passed to Update/UpdateAndGet/LoadOrStore
+// run outside any lock and may be retried: f must be pure — it must not
+// mutate old in place (append-style values must copy) and must not have
+// side effects that cannot be repeated.
+//
+// The zero value is not usable; construct with NewLockFree.
+type LockFree[K comparable, V any] struct {
+	hash Hasher[K]
+	cur  atomic.Pointer[lfTable[K, V]]
+}
+
+// NewLockFree returns a lock-free table pre-sized for capacity entries
+// (rounded up so the load limit is not hit before then).
+func NewLockFree[K comparable, V any](capacity int, hash Hasher[K]) *LockFree[K, V] {
+	h := &LockFree[K, V]{hash: hash}
+	h.cur.Store(newLFTable[K, V](capacity*4/3 + 1))
+	return h
+}
+
+// hashOf applies a final mix so weak hashers (identity on already-spread
+// keys) still probe well in the low bits.
+func (h *LockFree[K, V]) hashOf(k K) uint64 { return Mix64(h.hash(k)) }
+
+// findRead probes t for k without claiming. It returns the slot holding k,
+// or nil with descend=false when k is provably absent from t, or nil with
+// descend=true when the probe hit a poisoned slot (k's state lives in
+// t.next).
+func findRead[K comparable, V any](t *lfTable[K, V], k K, hv uint64) (s *lfSlot[K, V], descend bool) {
+	for i, n := hv&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		sl := &t.slots[i]
+		for {
+			switch sl.state.Load() {
+			case slotEmpty:
+				return nil, false
+			case slotBusy:
+				runtime.Gosched() // claimer is publishing the key; tiny window
+				continue
+			case slotMoved:
+				return nil, true
+			case slotFull:
+				if sl.key == k {
+					return sl, false
+				}
+			}
+			break
+		}
+	}
+	// Probed every slot without an empty: treat as a full table (can only
+	// happen transiently at extreme load); the key is not here.
+	return nil, false
+}
+
+// findClaim probes t for k, claiming the first empty slot if k is absent.
+// ok=false with descend=true means the probe hit a poisoned slot; ok=false
+// with descend=false means the table is over-full and must grow.
+func (h *LockFree[K, V]) findClaim(t *lfTable[K, V], k K, hv uint64) (s *lfSlot[K, V], descend, ok bool) {
+	for i, n := hv&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		sl := &t.slots[i]
+		for {
+			switch sl.state.Load() {
+			case slotEmpty:
+				if !sl.state.CompareAndSwap(slotEmpty, slotBusy) {
+					continue // lost the race; re-read the new state
+				}
+				sl.key = k
+				sl.state.Store(slotFull)
+				if c := t.claims.Add(1); c >= t.limit {
+					h.grow(t, 0)
+				}
+				return sl, false, true
+			case slotBusy:
+				runtime.Gosched()
+				continue
+			case slotMoved:
+				return nil, true, false
+			case slotFull:
+				if sl.key == k {
+					return sl, false, true
+				}
+			}
+			break
+		}
+	}
+	return nil, false, false
+}
+
+// grow links a next table of at least minCap (0 means double) under t and
+// helps migrate a little. Idempotent under races: only one next wins.
+func (h *LockFree[K, V]) grow(t *lfTable[K, V], minCap int) {
+	if t.next.Load() == nil {
+		// Small tables quadruple so a from-scratch fill pays O(log n)
+		// migration rounds over few slots; big ones double to bound the
+		// memory spike of a live migration.
+		factor := 4
+		if len(t.slots) >= 1<<16 {
+			factor = 2
+		}
+		want := factor * len(t.slots)
+		if want < minCap {
+			want = minCap
+		}
+		t.next.CompareAndSwap(nil, newLFTable[K, V](want))
+	}
+	h.helpMigrate(t, 2) // bounded help keeps per-op cost O(chunk)
+}
+
+// helpMigrate claims and migrates up to maxChunks chunks of t (all of them
+// when maxChunks <= 0) and advances the root when t is drained.
+func (h *LockFree[K, V]) helpMigrate(t *lfTable[K, V], maxChunks int) {
+	nt := t.next.Load()
+	if nt == nil {
+		return
+	}
+	for done := 0; maxChunks <= 0 || done < maxChunks; done++ {
+		c := t.migClaim.Add(1) - 1
+		if c >= t.nchunks {
+			break
+		}
+		lo := int(c) * migrateChunk
+		hi := lo + migrateChunk
+		if hi > len(t.slots) {
+			hi = len(t.slots)
+		}
+		for i := lo; i < hi; i++ {
+			h.migrateSlot(t, &t.slots[i], nt)
+		}
+		if t.migDone.Add(1) == t.nchunks {
+			h.advanceRoot()
+		}
+	}
+}
+
+// migrateSlot freezes one slot of t and installs its value into nt.
+func (h *LockFree[K, V]) migrateSlot(t *lfTable[K, V], sl *lfSlot[K, V], nt *lfTable[K, V]) {
+	for {
+		switch sl.state.Load() {
+		case slotEmpty:
+			if sl.state.CompareAndSwap(slotEmpty, slotMoved) {
+				return
+			}
+			continue
+		case slotBusy:
+			runtime.Gosched()
+			continue
+		case slotMoved:
+			return
+		}
+		// slotFull: freeze the box, then install the frozen value.
+		b := sl.val.Load()
+		if b == nil {
+			// Claimed but no value published yet: freeze as a ghost. The
+			// pending publisher's CAS will fail, see the ghost, and redo
+			// its write in the next table.
+			if sl.val.CompareAndSwap(nil, &lfBox[V]{del: true, moved: true, ghost: true}) {
+				return
+			}
+			continue
+		}
+		if b.moved {
+			// A concurrent operation already froze it; it (or its helpers)
+			// completed the install before proceeding.
+			return
+		}
+		frozen := &lfBox[V]{v: b.v, del: b.del, moved: true}
+		if sl.val.CompareAndSwap(b, frozen) {
+			h.installFrozen(nt, sl.key, frozen)
+			return
+		}
+	}
+}
+
+// installFrozen writes a frozen box's value for k into nt, only if k has no
+// box there yet. Every operation that meets a moved box calls this before
+// continuing in nt, so the frozen value is installed exactly once no matter
+// who wins the race.
+func (h *LockFree[K, V]) installFrozen(nt *lfTable[K, V], k K, frozen *lfBox[V]) {
+	if frozen.del {
+		return // tombstones are not carried forward
+	}
+	hv := h.hashOf(k)
+	for {
+		sl, descend, ok := h.findClaim(nt, k, hv)
+		if ok {
+			if sl.val.CompareAndSwap(nil, &lfBox[V]{v: frozen.v}) {
+				return
+			}
+			if b := sl.val.Load(); b != nil && b.ghost {
+				// Our claimed slot was ghost-frozen by nt's own migration
+				// before the value landed: the key is still absent, so the
+				// install carries on to nt's next table.
+				nt = nt.next.Load()
+				continue
+			}
+			// Any other box means a newer write (or its frozen copy, or a
+			// genuine tombstone) superseded the migrating value: drop it.
+			return
+		}
+		if descend {
+			// nt is itself migrating past k's chain: if k never made it
+			// into nt, its frozen value belongs in nt's next table.
+			h.helpMigrate(nt, 1)
+			nt = nt.next.Load()
+			continue
+		}
+		h.grow(nt, 0)
+		h.helpMigrate(nt, 1)
+		nt = nt.next.Load()
+	}
+}
+
+// Load returns the value for k, if present.
+func (h *LockFree[K, V]) Load(k K) (V, bool) {
+	var zero V
+	t := h.cur.Load()
+	hv := h.hashOf(k)
+	for t != nil {
+		sl, descend := findRead(t, k, hv)
+		if sl == nil {
+			if !descend {
+				return zero, false
+			}
+			t = t.next.Load()
+			continue
+		}
+		b := sl.val.Load()
+		if b == nil {
+			// Claimed, value not yet published: linearize before the store.
+			return zero, false
+		}
+		if b.moved {
+			if nv, st := h.loadAfterFreeze(t.next.Load(), k, hv); st != loadMiss {
+				if st == loadDeleted {
+					return zero, false
+				}
+				return nv, true
+			}
+			// Not installed in next yet: the frozen value is current.
+			if b.del {
+				return zero, false
+			}
+			return b.v, true
+		}
+		if b.del {
+			return zero, false
+		}
+		return b.v, true
+	}
+	return zero, false
+}
+
+type loadStatus int
+
+const (
+	loadMiss    loadStatus = iota // no box anywhere: key never reached these tables
+	loadHit                       // live value found
+	loadDeleted                   // tombstone found: key definitively absent
+)
+
+// loadAfterFreeze distinguishes "not migrated yet" (miss) from "present"
+// and "deleted since migration", chasing nested migrations.
+func (h *LockFree[K, V]) loadAfterFreeze(t *lfTable[K, V], k K, hv uint64) (V, loadStatus) {
+	var zero V
+	for t != nil {
+		sl, descend := findRead(t, k, hv)
+		if sl == nil {
+			if !descend {
+				return zero, loadMiss
+			}
+			t = t.next.Load()
+			continue
+		}
+		b := sl.val.Load()
+		if b == nil {
+			return zero, loadMiss // claim without a value yet: not installed
+		}
+		if b.moved {
+			if nv, st := h.loadAfterFreeze(t.next.Load(), k, hv); st != loadMiss {
+				return nv, st
+			}
+			if b.ghost {
+				// A ghost says the key never had a value here: whatever
+				// frozen value is in limbo upstream is still current.
+				return zero, loadMiss
+			}
+			if b.del {
+				return zero, loadDeleted
+			}
+			return b.v, loadHit
+		}
+		if b.del {
+			return zero, loadDeleted
+		}
+		return b.v, loadHit
+	}
+	return zero, loadMiss
+}
+
+// apply is the shared CAS loop behind Store/Update/Delete/LoadOrStore.
+// f maps the current state (old, present) to the next box; returning nil
+// means "leave as is". apply returns the box it installed (or found, when
+// f returned nil).
+func (h *LockFree[K, V]) apply(k K, f func(old V, present bool) *lfBox[V]) *lfBox[V] {
+	var zero V
+	t := h.cur.Load()
+	hv := h.hashOf(k)
+	for {
+		sl, descend, ok := h.findClaim(t, k, hv)
+		if !ok {
+			if descend {
+				t = t.next.Load()
+				continue
+			}
+			h.grow(t, 0)
+			h.helpMigrate(t, 1)
+			t = t.next.Load()
+			continue
+		}
+		for {
+			b := sl.val.Load()
+			if b == nil {
+				nb := f(zero, false)
+				if nb == nil {
+					return nil
+				}
+				if sl.val.CompareAndSwap(nil, nb) {
+					return nb
+				}
+				continue
+			}
+			if b.moved {
+				h.installFrozen(t.next.Load(), k, b)
+				t = t.next.Load()
+				break // continue in the next table
+			}
+			old, present := b.v, !b.del
+			nb := f(old, present)
+			if nb == nil {
+				return b
+			}
+			if sl.val.CompareAndSwap(b, nb) {
+				return nb
+			}
+		}
+	}
+}
+
+// Store sets the value for k.
+func (h *LockFree[K, V]) Store(k K, v V) {
+	h.apply(k, func(V, bool) *lfBox[V] { return &lfBox[V]{v: v} })
+}
+
+// Delete removes k. The slot stays in the probe chain as a tombstone until
+// the next growth migration drops it. Deleting an absent key claims
+// nothing: the probe is read-only.
+func (h *LockFree[K, V]) Delete(k K) {
+	t := h.cur.Load()
+	hv := h.hashOf(k)
+	for t != nil {
+		sl, descend := findRead(t, k, hv)
+		if sl == nil {
+			if !descend {
+				return
+			}
+			t = t.next.Load()
+			continue
+		}
+		for {
+			b := sl.val.Load()
+			if b == nil {
+				return // claim without a published value: linearize first
+			}
+			if b.moved {
+				h.installFrozen(t.next.Load(), k, b)
+				t = t.next.Load()
+				break
+			}
+			if b.del {
+				return
+			}
+			if sl.val.CompareAndSwap(b, &lfBox[V]{del: true}) {
+				return
+			}
+		}
+	}
+}
+
+// Update applies f to the current value for k (zero value and ok=false if
+// absent) and stores the result. f must be pure: it runs outside any lock
+// and is retried when it loses a CAS race, so it must not mutate old in
+// place (copy append-style values) nor rely on being called once.
+func (h *LockFree[K, V]) Update(k K, f func(old V, ok bool) V) {
+	h.apply(k, func(old V, present bool) *lfBox[V] {
+		return &lfBox[V]{v: f(old, present)}
+	})
+}
+
+// UpdateAndGet is Update returning the stored value. The same purity
+// contract as Update applies to f.
+func (h *LockFree[K, V]) UpdateAndGet(k K, f func(old V, ok bool) V) V {
+	b := h.apply(k, func(old V, present bool) *lfBox[V] {
+		return &lfBox[V]{v: f(old, present)}
+	})
+	return b.v
+}
+
+// LoadOrStore returns the existing value for k if present; otherwise it
+// stores and returns v. loaded is true if the value was already present.
+// This is the priority-write used for face attachment: the first writer
+// wins and every racer observes the winner's value.
+func (h *LockFree[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	b := h.apply(k, func(old V, present bool) *lfBox[V] {
+		if present {
+			loaded = true
+			return nil
+		}
+		loaded = false
+		return &lfBox[V]{v: v}
+	})
+	return b.v, loaded
+}
+
+// flatten drives any in-flight migration to completion on the parallel
+// pool, so the root table is a plain flat array. Bulk (phase) operations
+// call it first; per-key operations never need it.
+func (h *LockFree[K, V]) flatten() *lfTable[K, V] {
+	for {
+		t := h.cur.Load()
+		if t.next.Load() == nil {
+			return t
+		}
+		// Chunk claims are atomic, so pool workers compose with any
+		// straggling per-op helpers; extra iterations no-op on an empty
+		// claim counter.
+		parallel.ForGrain(0, int(t.nchunks), 1, func(int) {
+			h.helpMigrate(t, 1)
+		})
+		// Wait for chunks claimed by outside helpers to drain.
+		for t.migDone.Load() < t.nchunks {
+			runtime.Gosched()
+		}
+		h.advanceRoot()
+	}
+}
+
+// advanceRoot moves cur past fully migrated tables.
+func (h *LockFree[K, V]) advanceRoot() {
+	for {
+		t := h.cur.Load()
+		nt := t.next.Load()
+		if nt == nil || t.migDone.Load() < t.nchunks {
+			return
+		}
+		h.cur.CompareAndSwap(t, nt)
+	}
+}
+
+// Len returns the number of live entries. Phase operation: callers must
+// quiesce mutators first. The count runs on the parallel pool.
+func (h *LockFree[K, V]) Len() int {
+	t := h.flatten()
+	nb := parallel.NumBlocks(len(t.slots), 4*migrateChunk)
+	counts := make([]int64, nb)
+	parallel.BlocksN(0, len(t.slots), nb, func(b, lo, hi int) {
+		var n int64
+		for i := lo; i < hi; i++ {
+			sl := &t.slots[i]
+			if sl.state.Load() != slotFull {
+				continue
+			}
+			if bx := sl.val.Load(); bx != nil && !bx.del {
+				n++
+			}
+		}
+		counts[b] = n
+	})
+	return int(parallel.Sum(counts))
+}
+
+// Range calls f for every entry until f returns false. Phase operation:
+// the iteration itself is sequential so early stop is exact; use RangePar
+// for a parallel sweep.
+func (h *LockFree[K, V]) Range(f func(k K, v V) bool) {
+	t := h.flatten()
+	for i := range t.slots {
+		sl := &t.slots[i]
+		if sl.state.Load() != slotFull {
+			continue
+		}
+		b := sl.val.Load()
+		if b == nil || b.del {
+			continue
+		}
+		if !f(sl.key, b.v) {
+			return
+		}
+	}
+}
+
+// RangePar calls f for every entry from pool workers, in no particular
+// order and with no early stop. Phase operation. f must be safe to call
+// concurrently with itself.
+func (h *LockFree[K, V]) RangePar(f func(k K, v V)) {
+	t := h.flatten()
+	parallel.Blocks(0, len(t.slots), 4*migrateChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sl := &t.slots[i]
+			if sl.state.Load() != slotFull {
+				continue
+			}
+			if b := sl.val.Load(); b != nil && !b.del {
+				f(sl.key, b.v)
+			}
+		}
+	})
+}
+
+// Clear removes all entries by installing a fresh minimum-size table.
+// Phase operation.
+func (h *LockFree[K, V]) Clear() {
+	h.flatten()
+	h.cur.Store(newLFTable[K, V](0))
+}
+
+// Reserve grows the table so that at least capacity entries fit without a
+// migration, finishing any in-flight one on the pool. Phase operation.
+func (h *LockFree[K, V]) Reserve(capacity int) {
+	t := h.flatten()
+	need := capacity*4/3 + 1
+	if len(t.slots) >= need {
+		return
+	}
+	h.grow(t, need)
+	h.flatten()
+}

@@ -1,0 +1,256 @@
+package hashtable
+
+// Oracle equivalence tests: randomized operation streams are replayed
+// against a plain Go map (the oracle), the sharded Map, and the LockFree
+// table, asserting identical observable behavior op by op — the testing
+// discipline of the RunType2Seq equivalence suite applied to the table.
+// Table capacities are chosen tiny so the lock-free replays cross several
+// forced resizes.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// oracleOp codes for the replay streams (shared with the fuzz target).
+const (
+	opStore = iota
+	opLoad
+	opDelete
+	opUpdate
+	opLoadOrStore
+	opGrowBurst // bulk insert to force a resize mid-stream
+	numOps
+)
+
+// replayStep applies one op to a Table and to the map oracle and fails the
+// test on any observable divergence.
+func replayStep(t *testing.T, impl string, step int, tab Table[int, int], oracle map[int]int, op, key, val int) {
+	t.Helper()
+	switch op {
+	case opStore:
+		tab.Store(key, val)
+		oracle[key] = val
+	case opLoad:
+		got, ok := tab.Load(key)
+		want, wok := oracle[key]
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("%s step %d: Load(%d) = (%d,%v), oracle (%d,%v)", impl, step, key, got, ok, want, wok)
+		}
+	case opDelete:
+		tab.Delete(key)
+		delete(oracle, key)
+	case opUpdate:
+		// Update semantics: absent -> val, present -> old+val. Pure, as the
+		// lock-free contract requires.
+		tab.Update(key, func(old int, ok bool) int {
+			if !ok {
+				return val
+			}
+			return old + val
+		})
+		if old, ok := oracle[key]; ok {
+			oracle[key] = old + val
+		} else {
+			oracle[key] = val
+		}
+	case opLoadOrStore:
+		got, loaded := tab.LoadOrStore(key, val)
+		want, wok := oracle[key]
+		if loaded != wok {
+			t.Fatalf("%s step %d: LoadOrStore(%d) loaded=%v, oracle present=%v", impl, step, key, loaded, wok)
+		}
+		if loaded && got != want {
+			t.Fatalf("%s step %d: LoadOrStore(%d) = %d, oracle %d", impl, step, key, got, want)
+		}
+		if !loaded {
+			if got != val {
+				t.Fatalf("%s step %d: LoadOrStore(%d) stored %d, want %d", impl, step, key, got, val)
+			}
+			oracle[key] = val
+		}
+	case opGrowBurst:
+		for i := 0; i < 64; i++ {
+			k := key + i
+			tab.Store(k, k^val)
+			oracle[k] = k ^ val
+		}
+	}
+}
+
+// checkContents asserts a Table's full contents match the oracle, via both
+// Range and Len and per-key Loads.
+func checkContents(t *testing.T, impl string, tab Table[int, int], oracle map[int]int) {
+	t.Helper()
+	if got := tab.Len(); got != len(oracle) {
+		t.Fatalf("%s: Len=%d oracle=%d", impl, got, len(oracle))
+	}
+	seen := map[int]int{}
+	tab.Range(func(k, v int) bool {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("%s: Range yielded key %d twice (%d, %d)", impl, k, prev, v)
+		}
+		seen[k] = v
+		return true
+	})
+	if len(seen) != len(oracle) {
+		t.Fatalf("%s: Range yielded %d entries, oracle %d", impl, len(seen), len(oracle))
+	}
+	for k, want := range oracle {
+		if got, ok := seen[k]; !ok || got != want {
+			t.Fatalf("%s: Range[%d] = (%d,%v), oracle %d", impl, k, got, ok, want)
+		}
+		if got, ok := tab.Load(k); !ok || got != want {
+			t.Fatalf("%s: Load(%d) = (%d,%v), oracle %d", impl, k, got, ok, want)
+		}
+	}
+}
+
+// TestOracleEquivalence replays randomized streams over several key-space
+// widths and initial capacities. Small key spaces stress Update/Delete
+// interleavings; wide ones with grow bursts stress resize.
+func TestOracleEquivalence(t *testing.T) {
+	impls := func() map[string]Table[int, int] {
+		hash := func(k int) uint64 { return Mix64(uint64(k)) }
+		return map[string]Table[int, int]{
+			"sharded":  New[int, int](8, 16, hash),
+			"lockfree": NewLockFree[int, int](2, hash), // tiny: forces resizes
+		}
+	}
+	for _, cfg := range []struct {
+		keys, steps int
+		seed        uint64
+	}{
+		{keys: 8, steps: 4000, seed: 1},
+		{keys: 64, steps: 4000, seed: 2},
+		{keys: 1024, steps: 8000, seed: 3},
+		{keys: 1 << 16, steps: 8000, seed: 4}, // many grow bursts land
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("keys=%d/seed=%d", cfg.keys, cfg.seed), func(t *testing.T) {
+			for impl, tab := range impls() {
+				r := rng.New(cfg.seed) // same stream for every implementation
+				oracle := map[int]int{}
+				for step := 0; step < cfg.steps; step++ {
+					op := int(r.Uint64() % numOps)
+					key := int(r.Uint64() % uint64(cfg.keys))
+					val := int(r.Uint64() % 1000)
+					replayStep(t, impl, step, tab, oracle, op, key, val)
+				}
+				checkContents(t, impl, tab, oracle)
+			}
+		})
+	}
+}
+
+// TestOracleSliceValues replays the face-map/grid value shape (slices under
+// Update-append) against the oracle, with copy-on-write appends as the
+// lock-free contract requires.
+func TestOracleSliceValues(t *testing.T) {
+	hash := func(k int) uint64 { return Mix64(uint64(k)) }
+	impls := map[string]Table[int, []int32]{
+		"sharded":  New[int, []int32](8, 16, hash),
+		"lockfree": NewLockFree[int, []int32](2, hash),
+	}
+	for impl, tab := range impls {
+		r := rng.New(7)
+		oracle := map[int][]int32{}
+		const keys, steps = 97, 6000
+		for step := 0; step < steps; step++ {
+			key := int(r.Uint64() % keys)
+			switch r.Uint64() % 4 {
+			case 0, 1, 2: // append-heavy, like grid inserts
+				v := int32(step)
+				tab.Update(key, func(old []int32, _ bool) []int32 {
+					ns := make([]int32, len(old)+1)
+					copy(ns, old)
+					ns[len(old)] = v
+					return ns
+				})
+				oracle[key] = append(oracle[key], v)
+			case 3:
+				tab.Delete(key)
+				delete(oracle, key)
+			}
+		}
+		if tab.Len() != len(oracle) {
+			t.Fatalf("%s: Len=%d oracle=%d", impl, tab.Len(), len(oracle))
+		}
+		for k, want := range oracle {
+			got, ok := tab.Load(k)
+			if !ok || len(got) != len(want) {
+				t.Fatalf("%s: Load(%d) len=%d ok=%v, oracle len=%d", impl, k, len(got), ok, len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: key %d element %d = %d, oracle %d", impl, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOracleImplsAgree replays one stream through both implementations side
+// by side and asserts they agree with each other (not just the oracle) on
+// every returned value — the sharded map is the reference implementation
+// for the lock-free table.
+func TestOracleImplsAgree(t *testing.T) {
+	hash := func(k int) uint64 { return Mix64(uint64(k)) }
+	a := New[int, int](4, 8, hash)
+	b := NewLockFree[int, int](2, hash)
+	r := rng.New(11)
+	const keys, steps = 512, 20000
+	for step := 0; step < steps; step++ {
+		op := int(r.Uint64() % numOps)
+		key := int(r.Uint64() % keys)
+		val := int(r.Uint64() % 1000)
+		switch op {
+		case opStore:
+			a.Store(key, val)
+			b.Store(key, val)
+		case opLoad:
+			av, aok := a.Load(key)
+			bv, bok := b.Load(key)
+			if av != bv || aok != bok {
+				t.Fatalf("step %d: Load(%d) sharded (%d,%v) lockfree (%d,%v)", step, key, av, aok, bv, bok)
+			}
+		case opDelete:
+			a.Delete(key)
+			b.Delete(key)
+		case opUpdate:
+			f := func(old int, ok bool) int {
+				if !ok {
+					return val
+				}
+				return old*3 + val
+			}
+			av := a.UpdateAndGet(key, f)
+			bv := b.UpdateAndGet(key, f)
+			if av != bv {
+				t.Fatalf("step %d: UpdateAndGet(%d) sharded %d lockfree %d", step, key, av, bv)
+			}
+		case opLoadOrStore:
+			av, al := a.LoadOrStore(key, val)
+			bv, bl := b.LoadOrStore(key, val)
+			if av != bv || al != bl {
+				t.Fatalf("step %d: LoadOrStore(%d) sharded (%d,%v) lockfree (%d,%v)", step, key, av, al, bv, bl)
+			}
+		case opGrowBurst:
+			for i := 0; i < 64; i++ {
+				a.Store(key+i, i)
+				b.Store(key+i, i)
+			}
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("final Len: sharded %d lockfree %d", a.Len(), b.Len())
+	}
+	a.Range(func(k, v int) bool {
+		if bv, ok := b.Load(k); !ok || bv != v {
+			t.Fatalf("key %d: sharded %d, lockfree (%d,%v)", k, v, bv, ok)
+		}
+		return true
+	})
+}

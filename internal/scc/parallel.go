@@ -179,6 +179,40 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 	}
 	t3 := core.RunType3(n, hooks)
 	st.Rounds = t3.Rounds
-	st.NumSCCs = CountSCCs(scc)
-	return Canonicalize(scc), st
+	labels, num := canonicalizePar(scc)
+	st.NumSCCs = num
+	return labels, st
+}
+
+// canonicalizePar is Canonicalize + CountSCCs fused for the parallel path:
+// a lock-free table keyed by raw component id accumulates the minimum
+// member per component with a pure min-write Update (retried CAS, the
+// priority-write idiom), then every vertex is relabeled in parallel. The
+// result is identical to Canonicalize (min is order-independent) and the
+// component count falls out of the table for free.
+func canonicalizePar(l Labels) (Labels, int) {
+	// Presized for the worst case of half the vertices being their own
+	// component; shattered graphs beyond that pay one cooperative growth.
+	minOf := hashtable.NewLockFree[int32, int32](len(l)/2+16,
+		func(k int32) uint64 { return hashtable.Mix64(uint64(uint32(k))) })
+	parallel.ForGrain(0, len(l), 0, func(v int) {
+		// Pruned priority write (the ReduceMinIndex discipline): a cheap
+		// read skips the CAS once the component's minimum has settled
+		// below v, which is the common case.
+		if cur, ok := minOf.Load(l[v]); ok && cur < int32(v) {
+			return
+		}
+		minOf.Update(l[v], func(old int32, ok bool) int32 {
+			if ok && old < int32(v) {
+				return old
+			}
+			return int32(v)
+		})
+	})
+	out := make(Labels, len(l))
+	parallel.ForGrain(0, len(l), 0, func(v int) {
+		m, _ := minOf.Load(l[v])
+		out[v] = m
+	})
+	return out, minOf.Len()
 }
