@@ -121,17 +121,17 @@ func ParInsert(keys []float64) (*Tree, Stats) {
 	for len(live) > 0 {
 		st.Rounds++
 		// Write phase: all live keys offer their index at their slot.
-		// Cheap uniform body (one priority write): a chunk costs an atomic
-		// claim on the pool, so grain 64 is affordable and keeps late
-		// rounds (few live keys) parallel.
-		parallel.ForGrain(0, len(live), 64, func(k int) {
+		// Cheap uniform body (one priority write): chunks cost lane-local
+		// claims on the stealing pool, so grain 32 is affordable and keeps
+		// late rounds (few live keys) parallel.
+		parallel.ForGrain(0, len(live), 32, func(k int) {
 			i := live[k]
 			slots[at[i]].Write(int64(i))
 		})
 		// Resolve phase: winners install; losers compare and descend.
 		won := make([]bool, len(live))
 		var roundCmps atomic.Int64
-		parallel.Blocks(0, len(live), 64, func(lo, hi int) {
+		parallel.Blocks(0, len(live), 32, func(lo, hi int) {
 			var local int64
 			for k := lo; k < hi; k++ {
 				i := live[k]
@@ -193,9 +193,10 @@ func ParInsertPrefix(keys []float64) (*Tree, Stats) {
 		// Phase 1: all keys in [lo, hi) search the frozen tree.
 		slot := make([]int64, hi-lo) // encoded slot: node*2 + side
 		cmpCount := make([]int64, hi-lo)
-		// Tree-search depth varies per key; grain 32 lets the dynamic
-		// scheduler even out deep descents.
-		parallel.ForGrain(0, hi-lo, 32, func(k int) {
+		// Tree-search depth varies per key; grain 16 lets thieves split
+		// off and even out runs of deep descents (claims are lane-local,
+		// so the finer grain costs no shared-counter traffic).
+		parallel.ForGrain(0, hi-lo, 16, func(k int) {
 			i := lo + k
 			cur := t.Root
 			var c int64

@@ -159,8 +159,9 @@ func ParIncrementalD(pts []PointD) (Result, Stats) {
 
 	rebuild := func(upto int) {
 		g = newGridD(res.Dist, n)
-		// Inserts are cheap and uniform: grain 256 keeps claim traffic low.
-		parallel.ForGrain(0, upto+1, 256, func(k int) { g.insert(pts, int32(k)) })
+		// Inserts are cheap and uniform: grain 128 (see parallel.go — claim
+		// traffic is lane-local on the stealing pool).
+		parallel.ForGrain(0, upto+1, 128, func(k int) { g.insert(pts, int32(k)) })
 	}
 
 	j := 2
@@ -171,12 +172,12 @@ func ParIncrementalD(pts []PointD) (Result, Stats) {
 		st.Rounds++
 		for j < hi {
 			st.SubRounds++
-			parallel.ForGrain(j, hi, 256, func(k int) { g.insert(pts, int32(k)) })
+			parallel.ForGrain(j, hi, 128, func(k int) { g.insert(pts, int32(k)) })
 			dist := make([]float64, hi-j)
 			arg := make([]int32, hi-j)
 			checks := make([]int64, hi-j)
 			// Probe counts are skewed by local density (see parallel.go).
-			parallel.ForGrain(j, hi, 64, func(k int) {
+			parallel.ForGrain(j, hi, 32, func(k int) {
 				d, a, _ := g.nearestBefore(pts, int32(k), nil, &checks[k-j])
 				dist[k-j], arg[k-j] = d, a
 			})

@@ -95,8 +95,10 @@ func ParIncremental(pts []geom.Point) (Result, Stats) {
 	st.CellProbes += 2
 	rebuild := func(upto int) {
 		g = newParGrid(res.Dist, n)
-		// Inserts are cheap and uniform: grain 256 keeps claim traffic low.
-		parallel.ForGrain(0, upto+1, 256, func(k int) { g.insert(pts, int32(k)) })
+		// Inserts are cheap and uniform: grain 128 — claim traffic is
+		// lane-local on the stealing pool, so half the old 256 grain buys
+		// rebalance headroom for hot grid cells at no shared-counter cost.
+		parallel.ForGrain(0, upto+1, 128, func(k int) { g.insert(pts, int32(k)) })
 		st.CellProbes += int64(upto + 1)
 	}
 
@@ -109,16 +111,16 @@ func ParIncremental(pts []geom.Point) (Result, Stats) {
 		for j < hi {
 			st.SubRounds++
 			// (a) Insert the remaining prefix in parallel.
-			parallel.ForGrain(j, hi, 256, func(k int) { g.insert(pts, int32(k)) })
+			parallel.ForGrain(j, hi, 128, func(k int) { g.insert(pts, int32(k)) })
 			st.CellProbes += int64(hi-j) * 10 // insert + 3x3 check per point
 			// (b)+(c) Earliest iteration whose true nearest-earlier
 			// distance beats r.
 			dist := make([]float64, hi-j)
 			arg := make([]int32, hi-j)
 			blockChecks := make([]int64, hi-j)
-			// Grid-probe counts are skewed by local density: grain 64 lets
-			// the pool balance the crowded cells.
-			parallel.ForGrain(j, hi, 64, func(k int) {
+			// Grid-probe counts are skewed by local density: grain 32 lets
+			// thieves split the crowded cells' ranges finer.
+			parallel.ForGrain(j, hi, 32, func(k int) {
 				d, a := g.nearestBefore(pts, int32(k), &blockChecks[k-j])
 				dist[k-j], arg[k-j] = d, a
 			})

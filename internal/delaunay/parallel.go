@@ -81,8 +81,9 @@ func ParTriangulate(pts []geom.Point) *Mesh {
 		newDepth := make([]int32, len(fires))
 		var tests atomic.Int64
 		// Grain 1: each fire is a rip-and-tent retriangulation whose cost
-		// varies with local geometry, so let the pool's dynamic chunk
-		// claiming balance them.
+		// varies with local geometry, so let stealing balance them. (The
+		// block count tracks the scheduler's chunksPerWorker cap — now
+		// 16·P — so big rounds split finer than they used to for free.)
 		preds := make([]geom.PredicateStats, parallel.NumBlocks(len(fires), 1))
 		parallel.BlocksN(0, len(fires), len(preds), func(bi, lo, hi int) {
 			pred := &preds[bi]

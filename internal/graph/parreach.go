@@ -31,12 +31,13 @@ func ParReachFrom(g *Graph, src int, forward bool, in func(u int) bool) (visited
 	var edges atomic.Int64
 	for len(frontier) > 0 {
 		// Expand every frontier vertex in parallel; claim new vertices
-		// with a CAS so each is visited exactly once. Grain 16 keeps
+		// with a CAS so each is visited exactly once. Grain 8 keeps
 		// chunks small because per-vertex cost is the (skewed) degree;
-		// the pool's dynamic chunk claiming balances the heavy ones.
+		// thieves split the ranges holding the heavy vertices, and the
+		// finer grain costs only lane-local claims on the stealing pool.
 		// Writing through the block index keeps the next frontier in
 		// deterministic block order.
-		nb := parallel.NumBlocks(len(frontier), 16)
+		nb := parallel.NumBlocks(len(frontier), 8)
 		nexts := make([][]int32, nb)
 		parallel.BlocksN(0, len(frontier), nb, func(bi, lo, hi int) {
 			var local []int32

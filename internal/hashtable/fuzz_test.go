@@ -28,7 +28,10 @@ func FuzzLockFree(f *testing.F) {
 		grow = append(grow, 0, byte(i), byte(i*3))
 	}
 	f.Add(grow)
-	f.Add(append(grow, 2, 5, 0, 3, 5, 9, 5, 0, 0))
+	f.Add(append(grow, 2, 5, 0, 3, 5, 9, 6, 0, 0))
+	// UpdateIf min-writes: insert, no-op (larger val), overwrite (smaller),
+	// then delete + re-insert through the absent path.
+	f.Add([]byte{5, 3, 9, 5, 3, 200, 5, 3, 1, 2, 3, 0, 5, 3, 50})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tab := NewLockFree[int, int](2, func(k int) uint64 { return Mix64(uint64(k)) })
@@ -77,6 +80,21 @@ func FuzzLockFree(f *testing.F) {
 				}
 				if got != want {
 					t.Fatalf("op %d: LoadOrStore(%d) = %d, oracle %d", i/3, key, got, want)
+				}
+			case opUpdateIf:
+				tab.UpdateIf(key, func(old int, ok bool) (int, bool) {
+					if ok && old <= val {
+						return old, false
+					}
+					return val, true
+				})
+				if old, ok := oracle[key]; !ok || val < old {
+					oracle[key] = val
+				}
+				got, ok := tab.Load(key)
+				want, wok := oracle[key]
+				if ok != wok || got != want {
+					t.Fatalf("op %d: after UpdateIf(%d) Load = (%d,%v), oracle (%d,%v)", i/3, key, got, ok, want, wok)
 				}
 			case opGrowBurst:
 				// Bulk insert outside the 32-key space to force a resize

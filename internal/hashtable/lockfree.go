@@ -492,6 +492,39 @@ func (h *LockFree[K, V]) Update(k K, f func(old V, ok bool) V) {
 	})
 }
 
+// UpdateIf is Update with a leave-as-is escape hatch: f returns the value
+// to store and whether to store it. When f reports false the table is left
+// untouched, and the no-op path is a plain read — no slot claim for absent
+// keys, no CAS, and no allocation at all (neither a value box nor the
+// apply closure). A declined op linearizes at that read; a write re-reads
+// the current state inside the CAS loop and may still land on the
+// leave-as-is path there if a racing writer got ahead. In the one racy
+// shape where that inner decline follows a fresh slot claim — the fast
+// path saw the key present, a concurrent Delete (plus migration dropping
+// the tombstone) made it absent, and f declines for absent keys — a
+// tombstone is published rather than leaving a claimed slot valueless
+// forever; migration drops it like any other tombstone. The same purity
+// contract as Update applies to f — it runs outside any lock and may be
+// called more than once, so it must be pure.
+func (h *LockFree[K, V]) UpdateIf(k K, f func(old V, ok bool) (V, bool)) {
+	old, ok := h.Load(k)
+	if _, write := f(old, ok); !write {
+		return
+	}
+	h.apply(k, func(old V, present bool) *lfBox[V] {
+		v, write := f(old, present)
+		if !write {
+			if !present {
+				// May be a slot findClaim just claimed for us: it must not
+				// stay valueless, and "absent" is spelled tombstone.
+				return &lfBox[V]{del: true}
+			}
+			return nil
+		}
+		return &lfBox[V]{v: v}
+	})
+}
+
 // UpdateAndGet is Update returning the stored value. The same purity
 // contract as Update applies to f.
 func (h *LockFree[K, V]) UpdateAndGet(k K, f func(old V, ok bool) V) V {

@@ -17,6 +17,21 @@ func implementations() map[string]func() Table[int, int] {
 	}
 }
 
+// TestLockFreeUpdateIfNoAlloc pins the property UpdateIf exists for (the
+// ROADMAP value-box item): the leave-as-is path is allocation-free — no
+// value box, no slot claim for absent keys, not even the apply closure.
+func TestLockFreeUpdateIfNoAlloc(t *testing.T) {
+	m := NewLockFree[int32, int32](64, func(k int32) uint64 { return Mix64(uint64(uint32(k))) })
+	m.Store(7, 1)
+	decline := func(old int32, ok bool) (int32, bool) { return old, false }
+	if allocs := testing.AllocsPerRun(200, func() { m.UpdateIf(7, decline) }); allocs != 0 {
+		t.Errorf("present-key no-op path allocated %.1f objects per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { m.UpdateIf(1234, decline) }); allocs != 0 {
+		t.Errorf("absent-key no-op path allocated %.1f objects per op, want 0", allocs)
+	}
+}
+
 // TestTableSuite runs the semantics shared by both implementations.
 func TestTableSuite(t *testing.T) {
 	for name, mk := range implementations() {
@@ -86,6 +101,49 @@ func TestTableSuite(t *testing.T) {
 				})
 				if v, _ := m.Load(5); v != 7 {
 					t.Fatalf("v=%d", v)
+				}
+			})
+
+			t.Run("updateif", func(t *testing.T) {
+				m := mk()
+				// Absent + decline: no insert.
+				m.UpdateIf(9, func(old int, ok bool) (int, bool) {
+					if ok {
+						t.Fatal("should be absent")
+					}
+					return 0, false
+				})
+				if _, ok := m.Load(9); ok || m.Len() != 0 {
+					t.Fatal("declined UpdateIf on absent key must not insert")
+				}
+				// Absent + write inserts.
+				minWrite := func(v int) func(int, bool) (int, bool) {
+					return func(old int, ok bool) (int, bool) {
+						if ok && old <= v {
+							return old, false
+						}
+						return v, true
+					}
+				}
+				m.UpdateIf(9, minWrite(40))
+				if v, ok := m.Load(9); !ok || v != 40 {
+					t.Fatalf("after insert: (%d,%v)", v, ok)
+				}
+				// Present + decline leaves the value.
+				m.UpdateIf(9, minWrite(50))
+				if v, _ := m.Load(9); v != 40 {
+					t.Fatalf("declined overwrite changed value to %d", v)
+				}
+				// Present + write overwrites.
+				m.UpdateIf(9, minWrite(12))
+				if v, _ := m.Load(9); v != 12 {
+					t.Fatalf("min-write kept %d, want 12", v)
+				}
+				// Deleted key is absent again.
+				m.Delete(9)
+				m.UpdateIf(9, minWrite(99))
+				if v, _ := m.Load(9); v != 99 {
+					t.Fatalf("after delete+insert: %d", v)
 				}
 			})
 

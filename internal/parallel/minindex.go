@@ -17,7 +17,11 @@ const minIndexPollStride = 64
 // before and during their scan and abandon work that can no longer win, so
 // the expected number of predicate evaluations is proportional to the
 // winning index's position, not the range width, while the result stays
-// deterministic (always the minimum).
+// deterministic (always the minimum). Determinism survives the stealing
+// scheduler because it never depends on which lane runs a chunk or in what
+// order: the cell keeps the minimum over every reservation that fired, and
+// pruning only skips indices strictly above an already-reserved one, which
+// can never be the final winner (see DESIGN.md).
 //
 // pred is called concurrently from pool workers and may be skipped for
 // indices above the winner; it must be safe for concurrent use and must

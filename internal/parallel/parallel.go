@@ -11,13 +11,17 @@
 // the algorithm packages and are unaffected by this substitution.
 //
 // All loops run on a persistent pool of at most GOMAXPROCS worker
-// goroutines (see pool.go) with dynamic self-scheduling: chunks are claimed
-// with an atomic counter, so skewed bodies load-balance and no goroutines
-// are spawned per call. All loops are deterministic in their results
-// (though not in execution order) and safe for nested use; an inner loop on
-// a busy worker is drained by that worker itself and helped by any idle
-// ones, so nesting cannot deadlock. A panic in a loop body is re-raised,
-// with its original value, on the goroutine that invoked the loop.
+// goroutines (see pool.go and DESIGN.md) with work-stealing range
+// splitting: each participant owns a contiguous per-lane claim range,
+// consumes it from the front in geometrically shrinking batches, and
+// steals the back half of another lane's range when its own runs dry — so
+// uniform loops cost a handful of lane-local atomics per worker, skewed
+// bodies load-balance by stealing, and no goroutines are spawned per call.
+// All loops are deterministic in their results (though not in execution
+// order) and safe for nested use; an inner loop on a busy worker is
+// drained by that worker itself and helped by any idle ones, so nesting
+// cannot deadlock. A panic in a loop body is re-raised, with its original
+// value, on the goroutine that invoked the loop.
 package parallel
 
 import "runtime"
@@ -46,8 +50,9 @@ const DefaultGrain = 512
 //
 // Small loops get ceil(n/min) chunks — so n just above the grain still
 // splits in two instead of silently serializing as the old grain-based
-// formula did — and large loops are capped at a few chunks per worker,
-// which the dynamic scheduler balances at claim time.
+// formula did — and large loops are capped at chunksPerWorker chunks per
+// worker, which the stealing scheduler rebalances by splitting ranges at
+// claim time.
 func chunksFor(n, min int) int {
 	if n <= 0 {
 		return 0

@@ -7,15 +7,14 @@ import (
 	"testing"
 )
 
-// Benchmarks for the pool scheduler against the per-call-goroutine-spawn
-// baseline it replaced, over the three loop shapes that matter:
+// Benchmarks for the stealing pool scheduler against two baselines:
 //
-//   - uniform: cheap identical iterations — measures pure scheduling
-//     overhead (the spawn baseline pays one goroutine per chunk per call).
-//   - skewed: iteration cost ramps with the index — measures load balance
-//     (static partitions tail-stall on the heavy chunks).
-//   - nested: an outer Do over inner loops — measures goroutine pressure
-//     (spawning multiplies per level; the pool reuses its workers).
+//   - spawn*: the seed implementation (one goroutine per chunk per call),
+//     kept verbatim — measures what persistent workers buy at all.
+//   - counter*: the single-atomic-chunk-counter persistent pool this PR
+//     replaced, kept verbatim as a bench-local scheduler — the A/B for the
+//     range-splitting/stealing substrate itself, over the steal shapes
+//     (uniform, triangular ramp, nested, single heavy chunk).
 //
 // Run with: go test ./internal/parallel -bench . -benchmem
 
@@ -190,6 +189,221 @@ func BenchmarkScan(b *testing.B) {
 		}
 		benchSink.Store(PrefixSums(xs))
 	}
+}
+
+// --- single-counter persistent pool (the scheduler this PR replaced) ---
+//
+// A verbatim-behavior copy of the previous pool: persistent workers, one
+// atomic "next chunk" counter per loop, caller participates. It shares
+// chunksFor with the live scheduler so the A/B isolates the claim protocol
+// (shared counter vs per-lane ranges with stealing), not the partitioning.
+
+type counterTask struct {
+	body    func(chunk int)
+	nchunks int64
+	next    atomic.Int64
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+func (t *counterTask) drain() {
+	for {
+		c := t.next.Add(1) - 1
+		if c >= t.nchunks {
+			return
+		}
+		t.body(int(c))
+		if t.pending.Add(-1) == 0 {
+			close(t.done)
+		}
+	}
+}
+
+type counterPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	loops   []*counterTask
+	workers int
+}
+
+var counterSched = func() *counterPool {
+	p := &counterPool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}()
+
+func (p *counterPool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.loops) == 0 {
+			p.cond.Wait()
+		}
+		t := p.loops[0]
+		p.mu.Unlock()
+		t.drain()
+		p.remove(t)
+	}
+}
+
+func (p *counterPool) remove(t *counterTask) {
+	p.mu.Lock()
+	for i, l := range p.loops {
+		if l == t {
+			last := len(p.loops) - 1
+			p.loops[i] = p.loops[last]
+			p.loops[last] = nil
+			p.loops = p.loops[:last]
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+func counterRunLoop(nchunks int, body func(chunk int)) {
+	if nchunks <= 0 {
+		return
+	}
+	if nchunks == 1 || MaxProcs() == 1 {
+		for c := 0; c < nchunks; c++ {
+			body(c)
+		}
+		return
+	}
+	t := &counterTask{body: body, nchunks: int64(nchunks), done: make(chan struct{})}
+	t.pending.Store(int64(nchunks))
+	p := counterSched
+	want := MaxProcs()
+	p.mu.Lock()
+	p.loops = append(p.loops, t)
+	for p.workers < want {
+		p.workers++
+		go p.worker()
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	t.drain()
+	p.remove(t)
+	<-t.done
+}
+
+func counterForGrain(lo, hi, grain int, body func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	nb := chunksFor(n, grain)
+	if nb <= 1 || MaxProcs() == 1 {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		return
+	}
+	counterRunLoop(nb, func(b int) {
+		s, e := chunkBounds(lo, hi, b, nb)
+		for i := s; i < e; i++ {
+			body(i)
+		}
+	})
+}
+
+func counterDo(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	counterRunLoop(len(fns), func(c int) { fns[c]() })
+}
+
+// --- steal-shape family: stealing pool vs single-counter pool ---
+//
+// These are the shapes cmd/benchgate gates (BenchmarkSteal.*): uniform
+// measures claim overhead when no steal ever fires, triangular and
+// heavy-chunk measure rebalancing when one lane's range holds most of the
+// work, and nested measures claim traffic with concurrent inner loops.
+
+func stealShape(b *testing.B, run func(loop func(lo, hi, grain int, body func(i int)), do func(...func()))) {
+	b.Run("pool", func(b *testing.B) {
+		benchProcs(b, 4)
+		for i := 0; i < b.N; i++ {
+			run(ForGrain, Do)
+		}
+	})
+	b.Run("counter", func(b *testing.B) {
+		benchProcs(b, 4)
+		for i := 0; i < b.N; i++ {
+			run(counterForGrain, counterDo)
+		}
+	})
+}
+
+func BenchmarkStealUniform(b *testing.B) {
+	const n = 1 << 16
+	body := func(i int) {
+		if i == -1 {
+			benchSink.Add(1)
+		}
+	}
+	stealShape(b, func(loop func(int, int, int, func(int)), _ func(...func())) {
+		loop(0, n, 0, body)
+	})
+}
+
+func BenchmarkStealTriangular(b *testing.B) {
+	// Cost ramps linearly with the index: the back ranges hold most of the
+	// total work, so thieves must keep splitting them.
+	const n = 1 << 13
+	body := func(i int) {
+		benchSink.Store(spinWork(i >> 3))
+	}
+	stealShape(b, func(loop func(int, int, int, func(int)), _ func(...func())) {
+		loop(0, n, 16, body)
+	})
+}
+
+func BenchmarkStealHeavyChunk(b *testing.B) {
+	// All the work in a single iteration: every other participant goes
+	// idle immediately and the schedulers race to strand as little as
+	// possible behind the stuck lane.
+	const n = 1 << 12
+	body := func(i int) {
+		if i == n/2 {
+			benchSink.Store(spinWork(1 << 16))
+		}
+	}
+	stealShape(b, func(loop func(int, int, int, func(int)), _ func(...func())) {
+		loop(0, n, 16, body)
+	})
+}
+
+func BenchmarkStealSmallLoop(b *testing.B) {
+	// One small loop per op: isolates the per-loop fixed cost (task
+	// allocation, publish, wakeup, final wait) that the nested shape pays
+	// five times per op.
+	const n = 1 << 12
+	body := func(i int) {
+		if i == -1 {
+			benchSink.Add(1)
+		}
+	}
+	stealShape(b, func(loop func(int, int, int, func(int)), _ func(...func())) {
+		loop(0, n, 64, body)
+	})
+}
+
+func BenchmarkStealNested(b *testing.B) {
+	const inner = 1 << 12
+	body := func(i int) {
+		if i == -1 {
+			benchSink.Add(1)
+		}
+	}
+	stealShape(b, func(loop func(int, int, int, func(int)), do func(...func())) {
+		branch := func() { loop(0, inner, 64, body) }
+		do(branch, branch, branch, branch)
+	})
 }
 
 func BenchmarkPack(b *testing.B) {

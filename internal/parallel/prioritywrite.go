@@ -10,6 +10,9 @@ import (
 // the smallest priority wins. It emulates the priority-write CRCW PRAM used
 // by Theorem 3.2 and the SCC combine step with a compare-and-swap loop; the
 // expected number of retries per write is O(1) under random arrival order.
+// The winner is a pure minimum, independent of write order, which is what
+// keeps reservation results deterministic under the stealing scheduler's
+// arbitrary chunk interleavings.
 //
 // The zero value is empty (no write yet). Priorities must be non-negative.
 type PriorityCell struct {

@@ -7,10 +7,26 @@ type Number interface {
 		~float32 | ~float64
 }
 
+// reduceSums folds partial in index order with op, collapsing adjacent
+// pairs level by level (combinePairs, in parallel) while the array is long
+// and finishing sequentially. Only associativity is used — every combine
+// is of in-order neighbours — so the result is bit-identical to a
+// sequential left fold.
+func reduceSums[T any](partial []T, identity T, op func(a, b T) T) T {
+	for len(partial) > scanSeqThreshold {
+		partial = combinePairs(partial, op)
+	}
+	acc := identity
+	for _, p := range partial {
+		acc = op(acc, p)
+	}
+	return acc
+}
+
 // Reduce combines f(i) for i in [lo, hi) with the associative operation op,
 // starting from identity. op must be associative; commutativity is not
-// required because blocks are combined in index order. The per-block
-// reductions run on the worker pool.
+// required because blocks are combined in index order (tree-wise for large
+// block counts). The per-block reductions run on the worker pool.
 func Reduce[T any](lo, hi int, identity T, f func(i int) T, op func(a, b T) T) T {
 	n := hi - lo
 	if n <= 0 {
@@ -33,11 +49,7 @@ func Reduce[T any](lo, hi int, identity T, f func(i int) T, op func(a, b T) T) T
 		}
 		partial[b] = acc
 	})
-	acc := identity
-	for _, p := range partial {
-		acc = op(acc, p)
-	}
-	return acc
+	return reduceSums(partial, identity, op)
 }
 
 // SumFunc returns the sum of f(i) for i in [lo, hi).

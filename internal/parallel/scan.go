@@ -1,11 +1,71 @@
 package parallel
 
+// scanSeqThreshold is the length at or below which the block-sum combine
+// runs sequentially. Above it the combine recurses (pairwise tree), which
+// matters now that chunksPerWorker·P block counts can reach the hundreds.
+const scanSeqThreshold = 32
+
+// combinePairs reduces adjacent pairs of src into a fresh ceil(len/2)
+// array (an odd last element is carried through). It is the shared upsweep
+// level of the tree combines in scanSums and reduceSums: combining only
+// in-order neighbours is what lets both promise bit-identical results to a
+// sequential left fold with nothing but associativity.
+func combinePairs[T any](src []T, op func(a, b T) T) []T {
+	half := len(src) / 2
+	pair := make([]T, (len(src)+1)/2)
+	ForGrain(0, half, scanSeqThreshold/2, func(i int) {
+		pair[i] = op(src[2*i], src[2*i+1])
+	})
+	if len(src)%2 == 1 {
+		pair[half] = src[len(src)-1]
+	}
+	return pair
+}
+
+// scanSums replaces sums with its exclusive prefix sums under op and
+// returns the total, recursing with a pairwise upsweep/downsweep when the
+// array is long: adjacent pairs are combined into a half-length array, that
+// array is scanned recursively, and the pair prefixes are expanded back.
+// Only associativity is used — elements are always combined with their
+// in-order neighbours — so the result is bit-identical to the sequential
+// scan for any op. Work O(len), depth O(log² len).
+func scanSums[T any](sums []T, identity T, op func(a, b T) T) T {
+	n := len(sums)
+	if n <= scanSeqThreshold {
+		acc := identity
+		for i := 0; i < n; i++ {
+			s := sums[i]
+			sums[i] = acc
+			acc = op(acc, s)
+		}
+		return acc
+	}
+	half := n / 2
+	pair := combinePairs(sums, op)
+	total := scanSums(pair, identity, op)
+	// pair[i] now holds the sum of all elements before pair i, i.e. before
+	// sums[2i]: seed each pair's in-place exclusive scan with it.
+	ForGrain(0, half, scanSeqThreshold/2, func(i int) {
+		lo := pair[i]
+		first := sums[2*i]
+		sums[2*i] = lo
+		sums[2*i+1] = op(lo, first)
+	})
+	if n%2 == 1 {
+		sums[n-1] = pair[half]
+	}
+	return total
+}
+
 // ScanExclusive replaces xs with its exclusive prefix sums under op and
 // returns the grand total: out[i] = identity ⊕ xs[0] ⊕ ... ⊕ xs[i-1].
 // op must be associative. The scan is the classic two-pass block algorithm:
-// per-block sums, a sequential scan over block sums, then per-block local
-// scans. Both passes run on the worker pool with identical block boundaries.
-// Work O(n), depth O(n/P + #blocks).
+// per-block sums, a tree-combined scan over the block sums, then per-block
+// local scans. Both block passes run on the worker pool with identical
+// block boundaries, so the result is deterministic on the stealing
+// scheduler: block b always covers the same indices and always receives
+// the same in-order prefix, whichever lane runs it. Work O(n), depth
+// O(n/P + log² #blocks).
 func ScanExclusive[T any](xs []T, identity T, op func(a, b T) T) T {
 	n := len(xs)
 	if n == 0 {
@@ -31,14 +91,7 @@ func ScanExclusive[T any](xs []T, identity T, op func(a, b T) T) T {
 		}
 		sums[b] = acc
 	})
-	// Sequential exclusive scan over the (few) block sums.
-	acc := identity
-	for b := 0; b < nb; b++ {
-		s := sums[b]
-		sums[b] = acc
-		acc = op(acc, s)
-	}
-	total := acc
+	total := scanSums(sums, identity, op)
 	// Pass 2: local scans seeded with the block offset.
 	runLoop(nb, func(b int) {
 		s, e := chunkBounds(0, n, b, nb)

@@ -1,0 +1,254 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// Tests for the range-splitting/stealing paths specifically: loops smaller
+// than one lane, range-word protocol invariants, panics inside stolen
+// batches, nested loops stealing from each other, and a mixed-shape stress
+// loop meant to run under -race and the CI -cpu matrix.
+
+func TestRangeSlotProtocol(t *testing.T) {
+	// takeFront claims the front ceil-half; stealBack takes the back
+	// ceil-half (so a one-chunk remnant is stolen whole, never stranded).
+	var s rangeSlot
+	s.bounds.Store(packRange(0, 8))
+	if lo, hi, ok := s.takeFront(); !ok || lo != 0 || hi != 4 {
+		t.Fatalf("takeFront on [0,8) = [%d,%d) ok=%v, want [0,4)", lo, hi, ok)
+	}
+	if lo, hi, ok := s.stealBack(); !ok || lo != 6 || hi != 8 {
+		t.Fatalf("stealBack on [4,8) = [%d,%d) ok=%v, want [6,8)", lo, hi, ok)
+	}
+	if lo, hi, ok := s.takeFront(); !ok || lo != 4 || hi != 5 {
+		t.Fatalf("takeFront on [4,6) = [%d,%d) ok=%v, want [4,5)", lo, hi, ok)
+	}
+	if lo, hi, ok := s.stealBack(); !ok || lo != 5 || hi != 6 {
+		t.Fatalf("stealBack on one-chunk [5,6) = [%d,%d) ok=%v, want the whole remnant [5,6)", lo, hi, ok)
+	}
+	if _, _, ok := s.takeFront(); ok {
+		t.Fatal("takeFront on empty slot succeeded")
+	}
+	// Full-width range: ceil-half of 2^31-1 chunks must not overflow int32
+	// (the maxRangeChunks segments in runLoop are exactly this wide).
+	s.bounds.Store(packRange(0, maxRangeChunks))
+	if lo, hi, ok := s.takeFront(); !ok || lo != 0 || hi != maxClaim {
+		t.Fatalf("takeFront on [0,2^31-1) = [%d,%d) ok=%v, want [0,%d)", lo, hi, ok, maxClaim)
+	}
+	s.bounds.Store(packRange(0, 0))
+	if _, _, ok := s.stealBack(); ok {
+		t.Fatal("stealBack on empty slot succeeded")
+	}
+	// install re-publishes only into an empty lane.
+	if !s.install(10, 20) {
+		t.Fatal("install into empty lane failed")
+	}
+	if s.install(30, 40) {
+		t.Fatal("install into occupied lane succeeded")
+	}
+	if got := s.drainAll(); got != 10 {
+		t.Fatalf("drainAll removed %d chunks, want 10", got)
+	}
+}
+
+func TestSmallerThanOneLane(t *testing.T) {
+	withProcs(t, 4)
+	// Every nchunks below (and a bit above) the lane count: most lanes
+	// start empty and immediately steal; every index must still run
+	// exactly once.
+	for n := 1; n <= 3*MaxProcs(); n++ {
+		hits := make([]atomic.Int32, n)
+		ForGrain(0, n, 1, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times, want 1", n, i, c)
+			}
+		}
+	}
+	// Do with fewer functions than lanes.
+	for k := 2; k <= 3; k++ {
+		var ran atomic.Int32
+		fns := make([]func(), k)
+		for i := range fns {
+			fns[i] = func() { ran.Add(1) }
+		}
+		Do(fns...)
+		if int(ran.Load()) != k {
+			t.Fatalf("Do with %d fns ran %d", k, ran.Load())
+		}
+	}
+}
+
+func TestPanicInStolenChunk(t *testing.T) {
+	withProcs(t, 4)
+	// Force a panic in a chunk the caller cannot have run itself: the
+	// caller claims at most maxClaim chunks off the front and parks inside
+	// the first one, so the last chunk is necessarily stolen and run by a
+	// pool worker, and it panics. The panic must still surface, with its
+	// original value, on the calling goroutine.
+	const nb = 64
+	var fired atomic.Bool
+	defer func() {
+		if r := recover(); r != "boom-stolen" {
+			t.Errorf("recovered %v, want boom-stolen", r)
+		}
+	}()
+	BlocksN(0, nb, nb, func(b, lo, hi int) {
+		switch b {
+		case 0:
+			for !fired.Load() {
+				runtime.Gosched()
+			}
+		case nb - 1:
+			fired.Store(true)
+			panic("boom-stolen")
+		}
+	})
+	t.Error("returned without panicking")
+}
+
+func TestGoexitInStolenChunkDoesNotHangCaller(t *testing.T) {
+	withProcs(t, 4)
+	// A body that terminates its goroutine (t.FailNow in a test helper,
+	// say) instead of panicking must not hang the loop's caller: batch
+	// accounting is deferred, so the dying worker's batch still lands and
+	// the loop completes (minus that one worker). Same parking trick as
+	// the stolen-panic test pins the Goexit onto a pool worker.
+	const nb = 64
+	var fired atomic.Bool
+	var ran atomic.Int64
+	BlocksN(0, nb, nb, func(b, lo, hi int) {
+		ran.Add(1)
+		switch b {
+		case 0:
+			for !fired.Load() {
+				runtime.Gosched()
+			}
+		case nb - 1:
+			fired.Store(true)
+			runtime.Goexit()
+		}
+	})
+	// Returning at all is the regression assertion (a broken scheduler
+	// blocks forever on the unaccounted batch and times the test out).
+	if got := ran.Load(); got != nb {
+		t.Fatalf("ran %d chunks, want %d", got, nb)
+	}
+	// The pool must still schedule correctly after losing a worker.
+	var sum atomic.Int64
+	ForGrain(0, 100000, 16, func(i int) { sum.Add(1) })
+	if sum.Load() != 100000 {
+		t.Fatalf("loop after Goexit covered %d/100000 iterations", sum.Load())
+	}
+}
+
+func TestNestedLoopsStealEachOther(t *testing.T) {
+	withProcs(t, 4)
+	// Concurrent branches each drive an inner skewed loop; inner chunks are
+	// claimable by any participant, so branches steal from each other's
+	// inner loops. Verify values, not just coverage.
+	n := 20000
+	out := make([]int64, 4*n)
+	branch := func(k int) func() {
+		return func() {
+			base := k * n
+			ForGrain(0, n, 8, func(i int) {
+				// Triangular ramp: later iterations cost more, so the
+				// tail of every lane range is worth stealing.
+				s := int64(0)
+				for j := 0; j < i%257; j++ {
+					s += int64(j)
+				}
+				benchSink.Store(s)
+				out[base+i] = int64(base+i) * 2
+			})
+		}
+	}
+	Do(branch(0), branch(1), branch(2), branch(3))
+	for i, v := range out {
+		if v != int64(i)*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, int64(i)*2)
+		}
+	}
+}
+
+func TestStressMixedShapes(t *testing.T) {
+	withProcs(t, 4)
+	rounds := 60
+	if testing.Short() {
+		rounds = 10
+	}
+	// Alternating shapes keep the pool's lanes in every state transition:
+	// uniform (pure front-claiming), skewed (back-half steals), tiny
+	// (empty lanes from the start), nested (inner tasks published while
+	// outer batches are live), and the deterministic primitives whose
+	// results must stay bit-identical to sequential oracles throughout.
+	xs := make([]int64, 5000)
+	for round := 0; round < rounds; round++ {
+		// Uniform.
+		var sum atomic.Int64
+		ForGrain(0, 10000, 16, func(i int) { sum.Add(int64(i)) })
+		if want := int64(10000) * 9999 / 2; sum.Load() != want {
+			t.Fatalf("round %d: uniform sum %d, want %d", round, sum.Load(), want)
+		}
+		// Skewed with per-index output.
+		m := 3000
+		out := make([]int64, m)
+		ForGrain(0, m, 4, func(i int) {
+			s := int64(0)
+			for j := 0; j < i%129; j++ {
+				s++
+			}
+			benchSink.Store(s)
+			out[i] = int64(i)
+		})
+		for i := range out {
+			if out[i] != int64(i) {
+				t.Fatalf("round %d: skewed out[%d] = %d", round, i, out[i])
+			}
+		}
+		// Tiny loops (lanes mostly empty).
+		for n := 1; n <= 5; n++ {
+			var c atomic.Int64
+			ForGrain(0, n, 1, func(int) { c.Add(1) })
+			if int(c.Load()) != n {
+				t.Fatalf("round %d: tiny n=%d covered %d", round, n, c.Load())
+			}
+		}
+		// Nested.
+		var tot atomic.Int64
+		Do(
+			func() { Blocks(0, 1000, 8, func(lo, hi int) { For(lo, hi, func(int) { tot.Add(1) }) }) },
+			func() { Blocks(0, 1000, 8, func(lo, hi int) { For(lo, hi, func(int) { tot.Add(1) }) }) },
+		)
+		if tot.Load() != 2000 {
+			t.Fatalf("round %d: nested covered %d, want 2000", round, tot.Load())
+		}
+		// Deterministic primitives vs sequential oracles.
+		for i := range xs {
+			xs[i] = int64(i%7) + 1
+		}
+		want := make([]int64, len(xs))
+		acc := int64(0)
+		for i, x := range xs {
+			want[i] = acc
+			acc += x
+		}
+		total := PrefixSums(xs)
+		if total != acc {
+			t.Fatalf("round %d: scan total %d, want %d", round, total, acc)
+		}
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("round %d: scan[%d] = %d, want %d", round, i, xs[i], want[i])
+			}
+		}
+		target := (round * 977) % 4000
+		idx, ok := ReduceMinIndex(0, 5000, 16, func(i int) bool { return i >= target })
+		if !ok || idx != target {
+			t.Fatalf("round %d: ReduceMinIndex = %d ok=%v, want %d", round, idx, ok, target)
+		}
+	}
+}

@@ -96,7 +96,8 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 			}
 		} else {
 			// Grain 1: each pivot runs a whole reachability search, the
-			// most skewed body in the repo; dynamic claiming is essential.
+			// most skewed body in the repo; steal-based rebalancing is
+			// essential so one giant search never pins a lane's queue.
 			parallel.ForGrain(lo, hi, 1, runPivot)
 		}
 		st.ReachWork += parallel.Sum(works)
@@ -123,9 +124,10 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 		groups := sortutil.Semisort(len(flat), func(i int) uint64 {
 			return uint64(flat[i].target)
 		})
-		// Group sizes are skewed; with pool chunks this cheap, grain 4
-		// trades claim traffic for balance on the big groups.
-		parallel.ForGrain(0, len(groups), 4, func(gi int) {
+		// Group sizes are skewed; claims are lane-local on the stealing
+		// pool, so grain 2 buys balance on the big groups for almost no
+		// claim traffic.
+		parallel.ForGrain(0, len(groups), 2, func(gi int) {
 			grp := groups[gi]
 			u := flat[grp.Indices[0]].target
 			// Collect this vertex's discoverers per direction.
@@ -197,16 +199,18 @@ func canonicalizePar(l Labels) (Labels, int) {
 		func(k int32) uint64 { return hashtable.Mix64(uint64(uint32(k))) })
 	parallel.ForGrain(0, len(l), 0, func(v int) {
 		// Pruned priority write (the ReduceMinIndex discipline): a cheap
-		// read skips the CAS once the component's minimum has settled
-		// below v, which is the common case.
+		// read skips the table op once the component's minimum has settled
+		// below v, which is the common case; races that slip past the read
+		// take UpdateIf's leave-as-is path, which performs no CAS and
+		// allocates no value box.
 		if cur, ok := minOf.Load(l[v]); ok && cur < int32(v) {
 			return
 		}
-		minOf.Update(l[v], func(old int32, ok bool) int32 {
-			if ok && old < int32(v) {
-				return old
+		minOf.UpdateIf(l[v], func(old int32, ok bool) (int32, bool) {
+			if ok && old <= int32(v) {
+				return old, false
 			}
-			return int32(v)
+			return int32(v), true
 		})
 	})
 	out := make(Labels, len(l))
