@@ -120,6 +120,10 @@ func BenchmarkTable1DelaunaySeq(b *testing.B) {
 func BenchmarkTable1DelaunayPar(b *testing.B) {
 	for _, n := range []int{1 << 10, 1 << 12} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// allocs/op is a gated metric (benchgate -allocthreshold): the
+			// round engine's arena + inline face map hold it near the round
+			// count, and a regression back toward O(triangles) must fail CI.
+			b.ReportAllocs()
 			pts := geom.Dedup(geom.UniformSquare(rng.New(uint64(n)), n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

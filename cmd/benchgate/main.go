@@ -6,12 +6,21 @@
 //
 // Usage:
 //
-//	benchgate [-threshold 0.15] [-match regexp] baseline.txt current.txt
+//	benchgate [-threshold 0.15] [-allocthreshold f] [-match regexp] baseline.txt current.txt
 //
 // With -count > 1 runs, the minimum ns/op per benchmark is compared —
 // the most noise-robust statistic for a regression gate on shared CI
 // hosts. Benchmarks missing from either file are reported but do not
 // fail the gate (new benchmarks have no baseline yet).
+//
+// When -allocthreshold is positive (it defaults to 0, gate disabled),
+// allocs/op (present when the run used -benchmem) is gated the same way
+// for benchmarks that report it in both files; allocation counts are
+// deterministic, so this catches a steady-state allocation regression —
+// the Delaunay round-engine budget — that ns/op noise could hide. A
+// baseline of 0 allocs/op must stay 0. Because allocation counts carry
+// no timing noise, the -minns floor exempts a benchmark only from the
+// ns/op comparison, never from the allocation gate.
 package main
 
 import (
@@ -34,6 +43,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	threshold := fs.Float64("threshold", 0.15, "allowed fractional ns/op regression (0.15 = +15%)")
+	allocThreshold := fs.Float64("allocthreshold", 0, "allowed fractional allocs/op regression for benchmarks reporting it in both files (0 disables the allocation gate)")
 	match := fs.String("match", "", "only gate benchmarks whose name matches this regexp (default: all)")
 	minNs := fs.Float64("minns", 0, "only gate benchmarks whose baseline is at least this many ns/op (micro-benchmarks under the floor are too noisy for a hard gate)")
 	if err := fs.Parse(args); err != nil {
@@ -74,24 +84,55 @@ func run(args []string, out, errOut io.Writer) int {
 		if filter != nil && !filter.MatchString(name) {
 			continue
 		}
-		if base[name] < *minNs {
-			fmt.Fprintf(out, "benchgate: %-60s below %.0fns floor (not gated)\n", name, *minNs)
-			continue
-		}
 		now, ok := cur[name]
 		if !ok {
 			fmt.Fprintf(out, "benchgate: %-60s missing from current run (not gated)\n", name)
 			continue
 		}
-		compared++
-		ratio := now/base[name] - 1
+		// The -minns floor exists for timing noise; allocation counts are
+		// deterministic, so a benchmark under the floor is exempt from the
+		// ns/op gate but still subject to the allocation gate.
+		underFloor := base[name].ns < *minNs
 		status := "ok"
-		if ratio > *threshold {
+		ratio := now.ns/base[name].ns - 1
+		if !underFloor && ratio > *threshold {
 			status = "REGRESSED"
+		}
+		allocNote := ""
+		gateAllocs := *allocThreshold > 0 && base[name].hasAllocs && now.hasAllocs
+		if *allocThreshold > 0 && base[name].hasAllocs != now.hasAllocs {
+			// One side stopped reporting allocs (e.g. -benchmem dropped from
+			// a CI bench line): say so loudly rather than silently un-gating
+			// a gated property. Not a failure — the merge-base side
+			// legitimately lacks allocs when a family gains -benchmem.
+			allocNote = "  [allocs missing from one file: alloc gate skipped]"
+		}
+		if gateAllocs {
+			ba, na := base[name].allocs, now.allocs
+			bad := na > 0
+			if ba > 0 {
+				bad = na/ba-1 > *allocThreshold
+			}
+			allocNote = fmt.Sprintf("  allocs %.0f -> %.0f", ba, na)
+			if bad {
+				status = "REGRESSED(allocs)"
+			}
+		}
+		if underFloor && !gateAllocs {
+			fmt.Fprintf(out, "benchgate: %-60s below %.0fns floor (not gated)\n", name, *minNs)
+			continue
+		}
+		compared++
+		if status != "ok" {
 			failed++
 		}
-		fmt.Fprintf(out, "benchgate: %-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
-			name, base[name], now, 100*ratio, status)
+		if underFloor {
+			fmt.Fprintf(out, "benchgate: %-60s below %.0fns floor (ns not gated)%s  %s\n",
+				name, *minNs, allocNote, status)
+			continue
+		}
+		fmt.Fprintf(out, "benchgate: %-60s %12.0f -> %12.0f ns/op  %+6.1f%%%s  %s\n",
+			name, base[name].ns, now.ns, 100*ratio, allocNote, status)
 	}
 	for name := range cur {
 		if _, ok := base[name]; !ok && (filter == nil || filter.MatchString(name)) {
@@ -111,26 +152,43 @@ func run(args []string, out, errOut io.Writer) int {
 	return 0
 }
 
-// parseFile returns the minimum ns/op per benchmark name in a
-// `go test -bench` output file. The -N GOMAXPROCS suffix is kept: runs at
-// different parallelism are different benchmarks.
-func parseFile(path string) (map[string]float64, error) {
+// sample is the per-benchmark statistic the gate compares: minimum ns/op
+// across all samples, and minimum allocs/op when the run reported it.
+type sample struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
+// parseFile returns the minimum ns/op (and allocs/op, when present) per
+// benchmark name in a `go test -bench` output file. The -N GOMAXPROCS
+// suffix is kept: runs at different parallelism are different benchmarks.
+func parseFile(path string) (map[string]sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	best := map[string]float64{}
+	best := map[string]sample{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		name, ns, ok := parseLine(sc.Text())
+		name, s, ok := parseLine(sc.Text())
 		if !ok {
 			continue
 		}
-		if prev, seen := best[name]; !seen || ns < prev {
-			best[name] = ns
+		prev, seen := best[name]
+		if !seen {
+			best[name] = s
+			continue
 		}
+		if s.ns < prev.ns {
+			prev.ns = s.ns
+		}
+		if s.hasAllocs && (!prev.hasAllocs || s.allocs < prev.allocs) {
+			prev.allocs, prev.hasAllocs = s.allocs, true
+		}
+		best[name] = prev
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -141,22 +199,35 @@ func parseFile(path string) (map[string]float64, error) {
 	return best, nil
 }
 
-// parseLine extracts (name, ns/op) from one benchmark result line, e.g.
+// parseLine extracts (name, ns/op [, allocs/op]) from one benchmark result
+// line, e.g.
 //
-//	BenchmarkType2SEB/n=65536-4   5   228123 ns/op   12 B/op ...
-func parseLine(line string) (string, float64, bool) {
+//	BenchmarkType2SEB/n=65536-4   5   228123 ns/op   12 B/op   3 allocs/op
+func parseLine(line string) (string, sample, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", sample{}, false
 	}
+	var s sample
+	found := false
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
+		switch fields[i+1] {
+		case "ns/op":
 			ns, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return "", 0, false
+				return "", sample{}, false
 			}
-			return fields[0], ns, true
+			s.ns = ns
+			found = true
+		case "allocs/op":
+			if a, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				s.allocs = a
+				s.hasAllocs = true
+			}
 		}
 	}
-	return "", 0, false
+	if !found {
+		return "", sample{}, false
+	}
+	return fields[0], s, true
 }

@@ -135,3 +135,103 @@ BenchmarkHashtableInsert/impl=lockfree-4 	 3	 70000 ns/op
 		t.Fatalf("floor reporting:\n%s", out)
 	}
 }
+
+const allocBaseline = `goos: linux
+BenchmarkDelaunayPar/n=4096-4   	 10	 37000000 ns/op	 10307390 B/op	 1317 allocs/op
+BenchmarkDelaunayPar/n=4096-4   	 10	 38000000 ns/op	 10307390 B/op	 1400 allocs/op
+BenchmarkNoAllocs-4             	 10	   300000 ns/op	        0 B/op	    0 allocs/op
+`
+
+func gateAllocs(t *testing.T, current string, extra ...string) (string, string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	b := write(t, dir, "base.txt", allocBaseline)
+	c := write(t, dir, "cur.txt", current)
+	var out, errOut bytes.Buffer
+	code := run(append(extra, b, c), &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestGateAllocsPass(t *testing.T) {
+	// Min across samples (1317) is the baseline; +10% stays inside the
+	// 15% allocation budget, and 0 -> 0 is fine.
+	out, errOut, code := gateAllocs(t, `
+BenchmarkDelaunayPar/n=4096-4   	 10	 37100000 ns/op	 10307390 B/op	 1448 allocs/op
+BenchmarkNoAllocs-4             	 10	   300000 ns/op	        0 B/op	    0 allocs/op
+`, "-allocthreshold", "0.15")
+	if code != 0 {
+		t.Fatalf("code=%d\nout=%s\nerr=%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "allocs 1317 -> 1448") {
+		t.Fatalf("alloc note missing:\n%s", out)
+	}
+}
+
+func TestGateAllocsFail(t *testing.T) {
+	out, _, code := gateAllocs(t, `
+BenchmarkDelaunayPar/n=4096-4   	 10	 37100000 ns/op	 30307390 B/op	 101317 allocs/op
+BenchmarkNoAllocs-4             	 10	   300000 ns/op	        0 B/op	    0 allocs/op
+`, "-allocthreshold", "0.15")
+	if code != 1 || !strings.Contains(out, "REGRESSED(allocs)") {
+		t.Fatalf("alloc regression not caught: code=%d\n%s", code, out)
+	}
+}
+
+func TestGateAllocsZeroBaseline(t *testing.T) {
+	// A 0 allocs/op baseline must stay 0: any allocation is a regression.
+	out, _, code := gateAllocs(t, `
+BenchmarkDelaunayPar/n=4096-4   	 10	 37100000 ns/op	 10307390 B/op	 1317 allocs/op
+BenchmarkNoAllocs-4             	 10	   300000 ns/op	       64 B/op	    2 allocs/op
+`, "-allocthreshold", "0.15")
+	if code != 1 || !strings.Contains(out, "REGRESSED(allocs)") {
+		t.Fatalf("0->2 allocs not caught: code=%d\n%s", code, out)
+	}
+}
+
+func TestGateAllocsDisabledByDefault(t *testing.T) {
+	// Without -allocthreshold, an allocation explosion alone does not fail
+	// the gate (only ns/op is gated), preserving the old behavior.
+	_, _, code := gateAllocs(t, `
+BenchmarkDelaunayPar/n=4096-4   	 10	 37100000 ns/op	 30307390 B/op	 901317 allocs/op
+BenchmarkNoAllocs-4             	 10	   310000 ns/op	       64 B/op	  200 allocs/op
+`)
+	if code != 0 {
+		t.Fatalf("alloc gate should be off by default: code=%d", code)
+	}
+}
+
+func TestGateAllocsUnderNsFloor(t *testing.T) {
+	// The -minns floor silences only the (noisy) ns/op comparison;
+	// allocation counts are deterministic, so an alloc regression on a
+	// micro-benchmark under the floor still fails when the alloc gate is
+	// on.
+	dir := t.TempDir()
+	b := write(t, dir, "base.txt", "BenchmarkMicroArena-4 \t 10 \t 150000 ns/op \t 32 B/op \t 1 allocs/op\n")
+	c := write(t, dir, "cur.txt", "BenchmarkMicroArena-4 \t 10 \t 151000 ns/op \t 339433 B/op \t 8192 allocs/op\n")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-allocthreshold", "0.15", "-minns", "200000", b, c}, &out, &errOut)
+	if code != 1 || !strings.Contains(out.String(), "REGRESSED(allocs)") {
+		t.Fatalf("under-floor alloc regression not caught: code=%d\n%s", code, out.String())
+	}
+	// And a huge ns regression under the floor alone still passes.
+	c2 := write(t, dir, "cur2.txt", "BenchmarkMicroArena-4 \t 10 \t 950000 ns/op \t 32 B/op \t 1 allocs/op\n")
+	out.Reset()
+	if code := run([]string{"-allocthreshold", "0.15", "-minns", "200000", b, c2}, &out, &errOut); code != 0 {
+		t.Fatalf("ns floor not honored with alloc gate on: code=%d\n%s", code, out.String())
+	}
+}
+
+func TestGateAllocsMissingOneSideWarns(t *testing.T) {
+	// When the alloc gate is on but only one file reports allocs, the
+	// output must say the gate was skipped rather than silently un-gating.
+	dir := t.TempDir()
+	b := write(t, dir, "base.txt", "BenchmarkX-4 \t 10 \t 500000 ns/op \t 32 B/op \t 1 allocs/op\n")
+	c := write(t, dir, "cur.txt", "BenchmarkX-4 \t 10 \t 510000 ns/op\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-allocthreshold", "0.15", b, c}, &out, &errOut); code != 0 {
+		t.Fatalf("code=%d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "alloc gate skipped") {
+		t.Fatalf("missing skip warning:\n%s", out.String())
+	}
+}

@@ -112,7 +112,11 @@ func (s *store) minE(t int32) int32 {
 // included without a test; points in the symmetric difference are tested
 // with InCircle. The returned test count feeds Theorem 4.5's accounting.
 // to == NoTri (hull face of t_b) means all candidates come from E(t).
-func (s *store) newTriData(to int32, fk uint64, t int32, v int32, pred *geom.PredicateStats) (tri Tri, tests int64) {
+// out is the destination for the encroacher list; it must be empty with
+// capacity at least len(E(t))+len(E(to)) so the appends below never
+// reallocate — which is what lets the round engine carve it from a
+// per-block arena.
+func (s *store) newTriData(to int32, fk uint64, t int32, v int32, pred *geom.PredicateStats, out []int32) (tri Tri, tests int64) {
 	a, b := faceEnds(fk)
 	corners := [3]int32{a, b, v}
 	if geom.Orient2DStats(s.pts[a], s.pts[b], s.pts[v], pred) < 0 {
@@ -126,7 +130,6 @@ func (s *store) newTriData(to int32, fk uint64, t int32, v int32, pred *geom.Pre
 		eo = s.tris[to].E
 	}
 	// Merge the two sorted lists, classifying common vs. exclusive points.
-	out := make([]int32, 0, len(et))
 	i, j := 0, 0
 	for i < len(et) || j < len(eo) {
 		var w int32
@@ -185,7 +188,12 @@ func (s *store) finish() *Mesh {
 	var final []Tri
 	for i := range s.tris {
 		if len(s.tris[i].E) == 0 {
-			final = append(final, s.tris[i])
+			t := s.tris[i]
+			// Drop the E header entirely: a zero-length slice still points
+			// at its backing array — here an i32arena chunk — and would pin
+			// the run's whole encroacher storage for the Mesh's lifetime.
+			t.E = nil
+			final = append(final, t)
 		}
 	}
 	maxDepth := int32(0)
@@ -279,7 +287,11 @@ func Triangulate(pts []geom.Point) *Mesh {
 		}
 		// ReplaceBoundary on every boundary face.
 		for _, f := range boundary {
-			tri, tests := s.newTriData(f.to, f.fk, f.t, v, s.pred)
+			need := len(s.tris[f.t].E)
+			if f.to != NoTri {
+				need += len(s.tris[f.to].E)
+			}
+			tri, tests := s.newTriData(f.to, f.fk, f.t, v, s.pred, make([]int32, 0, need))
 			s.stats.InCircleTests += tests
 			id := int32(len(s.tris))
 			s.tris = append(s.tris, tri)
@@ -322,7 +334,9 @@ func Triangulate(pts []geom.Point) *Mesh {
 					faces[fk] = ent
 				}
 			}
-			s.tris[t].E = s.tris[t].E[:0:0] // free the encroaching list
+			// nil, not [:0:0]: a zero-cap slice still holds its data
+			// pointer, so only nil actually frees the encroaching list.
+			s.tris[t].E = nil
 		}
 	}
 	// Ripped triangles had their E cleared above, so select final

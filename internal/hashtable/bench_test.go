@@ -25,6 +25,13 @@ func benchTables(capacity int) map[string]func() Table[uint64, int64] {
 		"lockfree": func() Table[uint64, int64] {
 			return NewLockFree[uint64, int64](capacity, hash)
 		},
+		// The seqlock inline-slot table: same protocol, no value box on
+		// writes. This is the ROADMAP single-core write-gap ablation arm.
+		"inline": func() Table[uint64, int64] {
+			return NewLockFreeInline[uint64, int64](capacity, hash,
+				func(v int64) (uint64, uint64) { return uint64(v), 0 },
+				func(a, _ uint64) int64 { return int64(a) })
+		},
 	}
 }
 

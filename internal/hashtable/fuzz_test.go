@@ -34,86 +34,98 @@ func FuzzLockFree(f *testing.F) {
 	f.Add([]byte{5, 3, 9, 5, 3, 200, 5, 3, 1, 2, 3, 0, 5, 3, 50})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tab := NewLockFree[int, int](2, func(k int) uint64 { return Mix64(uint64(k)) })
-		oracle := map[int]int{}
-		for i := 0; i+2 < len(data); i += 3 {
-			op := int(data[i]) % numOps
-			key := int(data[i+1]) % 32
-			val := int(data[i+2])
-			switch op {
-			case opStore:
-				tab.Store(key, val)
+		// Replay the same stream through the box table and the seqlock
+		// inline-slot table; both must match the oracle op by op.
+		hash := func(k int) uint64 { return Mix64(uint64(k)) }
+		tabs := map[string]Table[int, int]{
+			"lockfree": NewLockFree[int, int](2, hash),
+			"inline":   NewLockFreeInline[int, int](2, hash, EncInt, DecInt),
+		}
+		for name, tab := range tabs {
+			oracle := map[int]int{}
+			fuzzReplay(t, name, tab, oracle, data)
+		}
+	})
+}
+
+func fuzzReplay(t *testing.T, name string, tab Table[int, int], oracle map[int]int, data []byte) {
+	for i := 0; i+2 < len(data); i += 3 {
+		op := int(data[i]) % numOps
+		key := int(data[i+1]) % 32
+		val := int(data[i+2])
+		switch op {
+		case opStore:
+			tab.Store(key, val)
+			oracle[key] = val
+		case opLoad:
+			got, ok := tab.Load(key)
+			want, wok := oracle[key]
+			if ok != wok || got != want {
+				t.Fatalf("op %d: Load(%d) = (%d,%v), oracle (%d,%v)", i/3, key, got, ok, want, wok)
+			}
+		case opDelete:
+			tab.Delete(key)
+			delete(oracle, key)
+		case opUpdate:
+			got := tab.UpdateAndGet(key, func(old int, ok bool) int {
+				if !ok {
+					return val
+				}
+				return old*2 + val
+			})
+			want := val
+			if old, ok := oracle[key]; ok {
+				want = old*2 + val
+			}
+			oracle[key] = want
+			if got != want {
+				t.Fatalf("op %d: UpdateAndGet(%d) = %d, oracle %d", i/3, key, got, want)
+			}
+		case opLoadOrStore:
+			got, loaded := tab.LoadOrStore(key, val)
+			want, wok := oracle[key]
+			if loaded != wok {
+				t.Fatalf("op %d: LoadOrStore(%d) loaded=%v, oracle present=%v", i/3, key, loaded, wok)
+			}
+			if !loaded {
 				oracle[key] = val
-			case opLoad:
-				got, ok := tab.Load(key)
-				want, wok := oracle[key]
-				if ok != wok || got != want {
-					t.Fatalf("op %d: Load(%d) = (%d,%v), oracle (%d,%v)", i/3, key, got, ok, want, wok)
+				want = val
+			}
+			if got != want {
+				t.Fatalf("op %d: LoadOrStore(%d) = %d, oracle %d", i/3, key, got, want)
+			}
+		case opUpdateIf:
+			tab.UpdateIf(key, func(old int, ok bool) (int, bool) {
+				if ok && old <= val {
+					return old, false
 				}
-			case opDelete:
-				tab.Delete(key)
-				delete(oracle, key)
-			case opUpdate:
-				got := tab.UpdateAndGet(key, func(old int, ok bool) int {
-					if !ok {
-						return val
-					}
-					return old*2 + val
-				})
-				want := val
-				if old, ok := oracle[key]; ok {
-					want = old*2 + val
-				}
-				oracle[key] = want
-				if got != want {
-					t.Fatalf("op %d: UpdateAndGet(%d) = %d, oracle %d", i/3, key, got, want)
-				}
-			case opLoadOrStore:
-				got, loaded := tab.LoadOrStore(key, val)
-				want, wok := oracle[key]
-				if loaded != wok {
-					t.Fatalf("op %d: LoadOrStore(%d) loaded=%v, oracle present=%v", i/3, key, loaded, wok)
-				}
-				if !loaded {
-					oracle[key] = val
-					want = val
-				}
-				if got != want {
-					t.Fatalf("op %d: LoadOrStore(%d) = %d, oracle %d", i/3, key, got, want)
-				}
-			case opUpdateIf:
-				tab.UpdateIf(key, func(old int, ok bool) (int, bool) {
-					if ok && old <= val {
-						return old, false
-					}
-					return val, true
-				})
-				if old, ok := oracle[key]; !ok || val < old {
-					oracle[key] = val
-				}
-				got, ok := tab.Load(key)
-				want, wok := oracle[key]
-				if ok != wok || got != want {
-					t.Fatalf("op %d: after UpdateIf(%d) Load = (%d,%v), oracle (%d,%v)", i/3, key, got, ok, want, wok)
-				}
-			case opGrowBurst:
-				// Bulk insert outside the 32-key space to force a resize
-				// while the small keys stay live.
-				for j := 0; j < 64; j++ {
-					k := 1000 + key*64 + j
-					tab.Store(k, val+j)
-					oracle[k] = val + j
-				}
+				return val, true
+			})
+			if old, ok := oracle[key]; !ok || val < old {
+				oracle[key] = val
+			}
+			got, ok := tab.Load(key)
+			want, wok := oracle[key]
+			if ok != wok || got != want {
+				t.Fatalf("op %d: after UpdateIf(%d) Load = (%d,%v), oracle (%d,%v)", i/3, key, got, ok, want, wok)
+			}
+		case opGrowBurst:
+			// Bulk insert outside the 32-key space to force a resize
+			// while the small keys stay live.
+			for j := 0; j < 64; j++ {
+				k := 1000 + key*64 + j
+				tab.Store(k, val+j)
+				oracle[k] = val + j
 			}
 		}
-		if tab.Len() != len(oracle) {
-			t.Fatalf("final Len=%d oracle=%d", tab.Len(), len(oracle))
+	}
+	if tab.Len() != len(oracle) {
+		t.Fatalf("%s: final Len=%d oracle=%d", name, tab.Len(), len(oracle))
+	}
+	tab.Range(func(k, v int) bool {
+		if want, ok := oracle[k]; !ok || v != want {
+			t.Fatalf("%s: Range key %d = %d, oracle (%d,%v)", name, k, v, want, ok)
 		}
-		tab.Range(func(k, v int) bool {
-			if want, ok := oracle[k]; !ok || v != want {
-				t.Fatalf("Range key %d = %d, oracle (%d,%v)", k, v, want, ok)
-			}
-			return true
-		})
+		return true
 	})
 }

@@ -2,13 +2,15 @@
 // Delaunay face map, the closest-pair grids, and the SCC combine.
 //
 // The paper's parallel algorithms assume a work-efficient parallel hash
-// table (Gil, Matias & Vishkin). Two implementations of the shared Table
+// table (Gil, Matias & Vishkin). Three implementations of the shared Table
 // interface are provided: LockFree, a growable phase-concurrent
 // open-addressing table (CAS-claimed linear-probing slots, cooperative
-// migration) used on the hot paths, and Map, a sharded mutex map kept as
-// the reference implementation and equivalence-test oracle. DESIGN.md in
-// this directory has the full protocol and the sharded-vs-lock-free
-// ablation.
+// migration) for arbitrary value types; LockFreeInline, the same protocol
+// with seqlock inline value slots for small POD values (no value-box
+// allocation on writes — the Delaunay face map and SCC minima use it); and
+// Map, a sharded mutex map kept as the reference implementation and
+// equivalence-test oracle. DESIGN.md in this directory has the full
+// protocol and the ablations.
 package hashtable
 
 import "sync"
@@ -33,6 +35,7 @@ type Table[K comparable, V any] interface {
 var (
 	_ Table[int, int] = (*Map[int, int])(nil)
 	_ Table[int, int] = (*LockFree[int, int])(nil)
+	_ Table[int, int] = (*LockFreeInline[int, int])(nil)
 )
 
 // Hasher maps a key to a 64-bit hash. Implementations must be deterministic

@@ -1,0 +1,640 @@
+package hashtable
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// This file implements the seqlock inline-slot variant of the lock-free
+// table (the ROADMAP "seqlock inline value slots for small PODs" item).
+// The box-based LockFree table allocates an immutable value box per
+// effective write; for small plain-old-data values (the Delaunay
+// faceEntry, the SCC int32 minima) that box is the entire single-core
+// write cost. LockFreeInline stores the value inline in the slot instead:
+// two 64-bit words guarded by a per-slot seqlock, so winning
+// Store/Update/UpdateIf writes allocate nothing at all.
+//
+// The table protocol — CAS-claimed linear-probing slots, value-level
+// tombstones, cooperative chunk-claimed migration with poisoned empty
+// slots and ghost freezing — is a faithful port of lockfree.go with the
+// box pointer replaced by the seqlock cell; see DESIGN.md for the shared
+// protocol and the differences.
+//
+// Seqlock cell. Each full slot carries a 32-bit meta word and two value
+// words (w0, w1; the codec maps V to and from them):
+//
+//   - Readers load meta, then the words, then meta again; a stable,
+//     unlocked meta means the words are a consistent snapshot.
+//   - Writers claim the slot's write lock with one CAS on meta (the low
+//     bit), mutate the words, and release by storing meta with the
+//     sequence bumped — readers that overlapped retry. Writers on the
+//     same slot exclude each other (a per-slot spinlock), which is what
+//     lets an update callback run exactly once, after the migration
+//     check, with no CAS-retry purity hazards; readers never block
+//     writers and spin only while a write is in flight (the same bounded
+//     window as the slotBusy spin in the box table). All word accesses
+//     are atomic loads/stores, so the seqlock is race-detector clean.
+//
+// The sequence field wraps after 2^27 writes to one slot; a reader would
+// have to sleep across exactly that many writes to be fooled (the
+// standard seqlock caveat, irrelevant at these lifetimes).
+const (
+	imLock  uint32 = 1 << 0 // writer (or freezer) holds the slot
+	imHas   uint32 = 1 << 1 // a value or tombstone has been published
+	imDel   uint32 = 1 << 2 // tombstone: key present in chain, mapping absent
+	imMoved uint32 = 1 << 3 // frozen by migration; words never change again
+	imGhost uint32 = 1 << 4 // frozen with no published value (see lockfree.go)
+	imFlags uint32 = imLock | imHas | imDel | imMoved | imGhost
+	imSeq   uint32 = 1 << 5 // lowest sequence bit; bumped on every publish
+)
+
+type inSlot[K comparable] struct {
+	state  atomic.Uint32 // slotEmpty/slotBusy/slotFull/slotMoved, as in lockfree.go
+	meta   atomic.Uint32 // seqlock word: sequence | flags
+	key    K
+	w0, w1 atomic.Uint64 // encoded value, valid per the meta protocol
+}
+
+// read returns a consistent (meta, w0, w1) snapshot of the slot.
+func (sl *inSlot[K]) read() (m uint32, a, b uint64) {
+	for {
+		m = sl.meta.Load()
+		if m&imLock != 0 {
+			runtime.Gosched() // write in flight; tiny window
+			continue
+		}
+		if m&imHas == 0 {
+			return m, 0, 0 // no published words to read
+		}
+		a, b = sl.w0.Load(), sl.w1.Load()
+		if sl.meta.Load() == m {
+			return m, a, b
+		}
+	}
+}
+
+// lock claims the slot's write lock and returns the pre-lock meta.
+func (sl *inSlot[K]) lock() uint32 {
+	for {
+		m := sl.meta.Load()
+		if m&imLock != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if sl.meta.CompareAndSwap(m, m|imLock) {
+			return m
+		}
+	}
+}
+
+// unlock releases the write lock with the slot unchanged (no publish, no
+// sequence bump: nothing was written, so overlapping readers stay valid).
+func (sl *inSlot[K]) unlock(m uint32) { sl.meta.Store(m) }
+
+// publish releases the write lock with new flags and a bumped sequence.
+// Words must have been stored before the call.
+func (sl *inSlot[K]) publish(m, flags uint32) {
+	sl.meta.Store(((m &^ imFlags) + imSeq) | flags)
+}
+
+type inTable[K comparable] struct {
+	slots  []inSlot[K]
+	mask   uint64
+	limit  int64
+	claims atomic.Int64
+
+	next     atomic.Pointer[inTable[K]]
+	migClaim atomic.Int64
+	migDone  atomic.Int64
+	nchunks  int64
+}
+
+func newInTable[K comparable](capacity int) *inTable[K] {
+	n := 8
+	for n < capacity {
+		n *= 2
+	}
+	return &inTable[K]{
+		slots:   make([]inSlot[K], n),
+		mask:    uint64(n - 1),
+		limit:   int64(n) * 3 / 4,
+		nchunks: int64((n + migrateChunk - 1) / migrateChunk),
+	}
+}
+
+// LockFreeInline is the inline-slot variant of LockFree for values that
+// encode into two 64-bit words (small PODs). Same concurrency contract as
+// LockFree: any mix of per-key operations from any number of goroutines,
+// including across a growth; Len/Range/Clear/Reserve are phase operations.
+// Update-style callbacks run exactly once per call, under the slot's write
+// lock, but must still be pure (they may be re-invoked when a migration
+// forces the operation to restart in the next table before the callback's
+// effect was published).
+//
+// The zero value is not usable; construct with NewLockFreeInline.
+type LockFreeInline[K comparable, V any] struct {
+	hash Hasher[K]
+	enc  func(V) (uint64, uint64)
+	dec  func(uint64, uint64) V
+	cur  atomic.Pointer[inTable[K]]
+}
+
+// NewLockFreeInline returns an inline-slot table pre-sized for capacity
+// entries. enc/dec are the value codec; they must be pure inverses
+// (dec(enc(v)) == v for every stored v).
+func NewLockFreeInline[K comparable, V any](capacity int, hash Hasher[K],
+	enc func(V) (uint64, uint64), dec func(uint64, uint64) V) *LockFreeInline[K, V] {
+	h := &LockFreeInline[K, V]{hash: hash, enc: enc, dec: dec}
+	h.cur.Store(newInTable[K](capacity*4/3 + 1))
+	return h
+}
+
+func (h *LockFreeInline[K, V]) hashOf(k K) uint64 { return Mix64(h.hash(k)) }
+
+// inFindRead probes t for k without claiming; same contract as findRead.
+func inFindRead[K comparable](t *inTable[K], k K, hv uint64) (s *inSlot[K], descend bool) {
+	for i, n := hv&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		sl := &t.slots[i]
+		for {
+			switch sl.state.Load() {
+			case slotEmpty:
+				return nil, false
+			case slotBusy:
+				runtime.Gosched()
+				continue
+			case slotMoved:
+				return nil, true
+			case slotFull:
+				if sl.key == k {
+					return sl, false
+				}
+			}
+			break
+		}
+	}
+	return nil, false
+}
+
+// findClaim probes t for k, claiming the first empty slot if k is absent;
+// same contract as the box table's findClaim.
+func (h *LockFreeInline[K, V]) findClaim(t *inTable[K], k K, hv uint64) (s *inSlot[K], descend, ok bool) {
+	for i, n := hv&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		sl := &t.slots[i]
+		for {
+			switch sl.state.Load() {
+			case slotEmpty:
+				if !sl.state.CompareAndSwap(slotEmpty, slotBusy) {
+					continue
+				}
+				sl.key = k
+				sl.state.Store(slotFull)
+				if c := t.claims.Add(1); c >= t.limit {
+					h.grow(t, 0)
+				}
+				return sl, false, true
+			case slotBusy:
+				runtime.Gosched()
+				continue
+			case slotMoved:
+				return nil, true, false
+			case slotFull:
+				if sl.key == k {
+					return sl, false, true
+				}
+			}
+			break
+		}
+	}
+	return nil, false, false
+}
+
+func (h *LockFreeInline[K, V]) grow(t *inTable[K], minCap int) {
+	if t.next.Load() == nil {
+		factor := 4
+		if len(t.slots) >= 1<<16 {
+			factor = 2
+		}
+		want := factor * len(t.slots)
+		if want < minCap {
+			want = minCap
+		}
+		t.next.CompareAndSwap(nil, newInTable[K](want))
+	}
+	h.helpMigrate(t, 2)
+}
+
+func (h *LockFreeInline[K, V]) helpMigrate(t *inTable[K], maxChunks int) {
+	nt := t.next.Load()
+	if nt == nil {
+		return
+	}
+	for done := 0; maxChunks <= 0 || done < maxChunks; done++ {
+		c := t.migClaim.Add(1) - 1
+		if c >= t.nchunks {
+			break
+		}
+		lo := int(c) * migrateChunk
+		hi := lo + migrateChunk
+		if hi > len(t.slots) {
+			hi = len(t.slots)
+		}
+		for i := lo; i < hi; i++ {
+			h.migrateSlot(&t.slots[i], nt)
+		}
+		if t.migDone.Add(1) == t.nchunks {
+			h.advanceRoot()
+		}
+	}
+}
+
+// migrateSlot freezes one slot and installs its live value into nt. The
+// freeze happens under the slot's write lock, so it cannot interleave with
+// a half-finished write; once imMoved is published the words never change.
+func (h *LockFreeInline[K, V]) migrateSlot(sl *inSlot[K], nt *inTable[K]) {
+	for {
+		switch sl.state.Load() {
+		case slotEmpty:
+			if sl.state.CompareAndSwap(slotEmpty, slotMoved) {
+				return
+			}
+			continue
+		case slotBusy:
+			runtime.Gosched()
+			continue
+		case slotMoved:
+			return
+		}
+		m := sl.lock()
+		if m&imMoved != 0 {
+			sl.unlock(m)
+			return // already frozen (and installed) by a racing operation
+		}
+		if m&imHas == 0 {
+			// Claimed but no value published yet: freeze as a ghost. The
+			// pending publisher will take the lock, see the ghost, and redo
+			// its write in the next table.
+			sl.publish(m, imMoved|imGhost)
+			return
+		}
+		sl.publish(m, (m&(imHas|imDel))|imMoved)
+		if m&imDel == 0 {
+			h.installFrozen(nt, sl.key, sl.w0.Load(), sl.w1.Load())
+		}
+		return
+	}
+}
+
+// installFrozen writes a frozen value for k into nt, only if k has no
+// published state there yet; the exactly-once discipline of the box
+// table's installFrozen, with "no box" spelled "imHas clear".
+func (h *LockFreeInline[K, V]) installFrozen(nt *inTable[K], k K, a, b uint64) {
+	hv := h.hashOf(k)
+	for {
+		sl, descend, ok := h.findClaim(nt, k, hv)
+		if ok {
+			m := sl.lock()
+			switch {
+			case m&imGhost != 0:
+				// nt's own migration ghost-froze our claimed slot before the
+				// value landed: the key is still absent there, so the install
+				// carries on to nt's next table.
+				sl.unlock(m)
+				nt = nt.next.Load()
+				continue
+			case m&(imHas|imMoved) != 0:
+				// A newer write (or its frozen copy, or a genuine tombstone)
+				// superseded the migrating value: drop it.
+				sl.unlock(m)
+				return
+			}
+			sl.w0.Store(a)
+			sl.w1.Store(b)
+			sl.publish(m, imHas)
+			return
+		}
+		if descend {
+			h.helpMigrate(nt, 1)
+			nt = nt.next.Load()
+			continue
+		}
+		h.grow(nt, 0)
+		h.helpMigrate(nt, 1)
+		nt = nt.next.Load()
+	}
+}
+
+// completeMigration finishes k's migration out of a frozen slot (meta m,
+// words a/b read under the slot lock) into t's successor.
+func (h *LockFreeInline[K, V]) completeMigration(t *inTable[K], k K, m uint32, a, b uint64) {
+	if m&imGhost == 0 && m&imDel == 0 {
+		h.installFrozen(t.next.Load(), k, a, b)
+	}
+}
+
+// Load returns the value for k, if present.
+func (h *LockFreeInline[K, V]) Load(k K) (V, bool) {
+	var zero V
+	t := h.cur.Load()
+	hv := h.hashOf(k)
+	for t != nil {
+		sl, descend := inFindRead(t, k, hv)
+		if sl == nil {
+			if !descend {
+				return zero, false
+			}
+			t = t.next.Load()
+			continue
+		}
+		m, a, b := sl.read()
+		if m&imMoved != 0 {
+			if nv, st := h.loadAfterFreeze(t.next.Load(), k, hv); st != loadMiss {
+				if st == loadDeleted {
+					return zero, false
+				}
+				return nv, true
+			}
+			// Not installed in next yet: the frozen state is current.
+			if m&imHas == 0 || m&imDel != 0 {
+				return zero, false
+			}
+			return h.dec(a, b), true
+		}
+		if m&imHas == 0 || m&imDel != 0 {
+			// Claimed with no published value (linearize before the store),
+			// or tombstoned.
+			return zero, false
+		}
+		return h.dec(a, b), true
+	}
+	return zero, false
+}
+
+// loadAfterFreeze mirrors the box table's loadAfterFreeze: it
+// distinguishes "not migrated yet" from "present" and "deleted since",
+// chasing nested migrations.
+func (h *LockFreeInline[K, V]) loadAfterFreeze(t *inTable[K], k K, hv uint64) (V, loadStatus) {
+	var zero V
+	for t != nil {
+		sl, descend := inFindRead(t, k, hv)
+		if sl == nil {
+			if !descend {
+				return zero, loadMiss
+			}
+			t = t.next.Load()
+			continue
+		}
+		m, a, b := sl.read()
+		if m&imHas == 0 && m&imMoved == 0 {
+			return zero, loadMiss // claim without a value yet: not installed
+		}
+		if m&imMoved != 0 {
+			if nv, st := h.loadAfterFreeze(t.next.Load(), k, hv); st != loadMiss {
+				return nv, st
+			}
+			if m&imGhost != 0 {
+				return zero, loadMiss // key never had a value here
+			}
+			if m&imDel != 0 {
+				return zero, loadDeleted
+			}
+			return h.dec(a, b), loadHit
+		}
+		if m&imDel != 0 {
+			return zero, loadDeleted
+		}
+		return h.dec(a, b), loadHit
+	}
+	return zero, loadMiss
+}
+
+// apply is the shared write path behind Store/Update/Delete/LoadOrStore.
+// f maps the current state to (new value, write?); returning write=false
+// leaves the slot as is. f runs exactly once, under the slot's write lock,
+// after the migration check — but may be re-invoked if the operation must
+// restart in the next table, so it must still be pure.
+func (h *LockFreeInline[K, V]) apply(k K, f func(old V, present bool) (V, bool)) {
+	var zero V
+	t := h.cur.Load()
+	hv := h.hashOf(k)
+	for {
+		sl, descend, ok := h.findClaim(t, k, hv)
+		if !ok {
+			if descend {
+				t = t.next.Load()
+				continue
+			}
+			h.grow(t, 0)
+			h.helpMigrate(t, 1)
+			t = t.next.Load()
+			continue
+		}
+		m := sl.lock()
+		if m&imMoved != 0 {
+			// Complete this key's migration before continuing in next, so no
+			// window exists in which the frozen value could be lost.
+			a, b := sl.w0.Load(), sl.w1.Load()
+			sl.unlock(m)
+			h.completeMigration(t, k, m, a, b)
+			t = t.next.Load()
+			continue
+		}
+		old, present := zero, false
+		if m&imHas != 0 && m&imDel == 0 {
+			old, present = h.dec(sl.w0.Load(), sl.w1.Load()), true
+		}
+		nv, write := f(old, present)
+		if !write {
+			if m&imHas == 0 {
+				// A slot findClaim just claimed must not stay valueless:
+				// "absent" is spelled tombstone; migration drops it.
+				sl.publish(m, imHas|imDel)
+			} else {
+				sl.unlock(m)
+			}
+			return
+		}
+		a, b := h.enc(nv)
+		sl.w0.Store(a)
+		sl.w1.Store(b)
+		sl.publish(m, imHas)
+		return
+	}
+}
+
+// Store sets the value for k. The write is allocation-free.
+func (h *LockFreeInline[K, V]) Store(k K, v V) {
+	h.apply(k, func(V, bool) (V, bool) { return v, true })
+}
+
+// Delete removes k (value-level tombstone, dropped at the next migration).
+// Deleting an absent key claims nothing: the probe is read-only.
+func (h *LockFreeInline[K, V]) Delete(k K) {
+	t := h.cur.Load()
+	hv := h.hashOf(k)
+	for t != nil {
+		sl, descend := inFindRead(t, k, hv)
+		if sl == nil {
+			if !descend {
+				return
+			}
+			t = t.next.Load()
+			continue
+		}
+		m := sl.lock()
+		if m&imMoved != 0 {
+			a, b := sl.w0.Load(), sl.w1.Load()
+			sl.unlock(m)
+			h.completeMigration(t, k, m, a, b)
+			t = t.next.Load()
+			continue
+		}
+		if m&imHas == 0 || m&imDel != 0 {
+			sl.unlock(m)
+			return
+		}
+		sl.publish(m, imHas|imDel)
+		return
+	}
+}
+
+// Update applies f to the current value for k and stores the result.
+// Winning writes allocate nothing (no value box). Same purity contract as
+// the box table's Update.
+func (h *LockFreeInline[K, V]) Update(k K, f func(old V, ok bool) V) {
+	h.apply(k, func(old V, present bool) (V, bool) {
+		return f(old, present), true
+	})
+}
+
+// UpdateIf is Update with a leave-as-is escape hatch; both the no-op path
+// (a plain read) and the write path are allocation-free.
+func (h *LockFreeInline[K, V]) UpdateIf(k K, f func(old V, ok bool) (V, bool)) {
+	old, ok := h.Load(k)
+	if _, write := f(old, ok); !write {
+		return
+	}
+	h.apply(k, f)
+}
+
+// UpdateAndGet is Update returning the stored value.
+func (h *LockFreeInline[K, V]) UpdateAndGet(k K, f func(old V, ok bool) V) V {
+	var res V
+	h.apply(k, func(old V, present bool) (V, bool) {
+		res = f(old, present)
+		return res, true
+	})
+	return res
+}
+
+// LoadOrStore returns the existing value for k if present; otherwise it
+// stores and returns v.
+func (h *LockFreeInline[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	h.apply(k, func(old V, present bool) (V, bool) {
+		if present {
+			actual, loaded = old, true
+			return old, false
+		}
+		actual, loaded = v, false
+		return v, true
+	})
+	return actual, loaded
+}
+
+// flatten drives any in-flight migration to completion on the parallel
+// pool. Bulk (phase) operations call it first.
+func (h *LockFreeInline[K, V]) flatten() *inTable[K] {
+	for {
+		t := h.cur.Load()
+		if t.next.Load() == nil {
+			return t
+		}
+		parallel.ForGrain(0, int(t.nchunks), 1, func(int) {
+			h.helpMigrate(t, 1)
+		})
+		for t.migDone.Load() < t.nchunks {
+			runtime.Gosched()
+		}
+		h.advanceRoot()
+	}
+}
+
+func (h *LockFreeInline[K, V]) advanceRoot() {
+	for {
+		t := h.cur.Load()
+		nt := t.next.Load()
+		if nt == nil || t.migDone.Load() < t.nchunks {
+			return
+		}
+		h.cur.CompareAndSwap(t, nt)
+	}
+}
+
+// Len returns the number of live entries. Phase operation.
+func (h *LockFreeInline[K, V]) Len() int {
+	t := h.flatten()
+	nb := parallel.NumBlocks(len(t.slots), 4*migrateChunk)
+	counts := make([]int64, nb)
+	parallel.BlocksN(0, len(t.slots), nb, func(b, lo, hi int) {
+		var n int64
+		for i := lo; i < hi; i++ {
+			sl := &t.slots[i]
+			if sl.state.Load() != slotFull {
+				continue
+			}
+			if m := sl.meta.Load(); m&imHas != 0 && m&imDel == 0 {
+				n++
+			}
+		}
+		counts[b] = n
+	})
+	return int(parallel.Sum(counts))
+}
+
+// Range calls f for every entry until f returns false. Phase operation.
+func (h *LockFreeInline[K, V]) Range(f func(k K, v V) bool) {
+	t := h.flatten()
+	for i := range t.slots {
+		sl := &t.slots[i]
+		if sl.state.Load() != slotFull {
+			continue
+		}
+		m := sl.meta.Load()
+		if m&imHas == 0 || m&imDel != 0 {
+			continue
+		}
+		if !f(sl.key, h.dec(sl.w0.Load(), sl.w1.Load())) {
+			return
+		}
+	}
+}
+
+// Clear removes all entries by installing a fresh minimum-size table.
+// Phase operation.
+func (h *LockFreeInline[K, V]) Clear() {
+	h.flatten()
+	h.cur.Store(newInTable[K](0))
+}
+
+// Reserve grows the table so at least capacity entries fit without a
+// migration. Phase operation.
+func (h *LockFreeInline[K, V]) Reserve(capacity int) {
+	t := h.flatten()
+	need := capacity*4/3 + 1
+	if len(t.slots) >= need {
+		return
+	}
+	h.grow(t, need)
+	h.flatten()
+}
+
+// Codecs for the common small-POD value shapes.
+
+// EncInt32/DecInt32 encode an int32 value (the SCC canonicalize minima).
+func EncInt32(v int32) (uint64, uint64) { return uint64(uint32(v)), 0 }
+func DecInt32(a, _ uint64) int32        { return int32(uint32(a)) }
+
+// EncInt/DecInt encode an int value (used by the oracle/fuzz suites).
+func EncInt(v int) (uint64, uint64) { return uint64(v), 0 }
+func DecInt(a, _ uint64) int        { return int(a) }

@@ -131,6 +131,7 @@ func TestOracleEquivalence(t *testing.T) {
 		return map[string]Table[int, int]{
 			"sharded":  New[int, int](8, 16, hash),
 			"lockfree": NewLockFree[int, int](2, hash), // tiny: forces resizes
+			"inline":   NewLockFreeInline[int, int](2, hash, EncInt, DecInt),
 		}
 	}
 	for _, cfg := range []struct {
@@ -206,14 +207,17 @@ func TestOracleSliceValues(t *testing.T) {
 	}
 }
 
-// TestOracleImplsAgree replays one stream through both implementations side
-// by side and asserts they agree with each other (not just the oracle) on
-// every returned value — the sharded map is the reference implementation
-// for the lock-free table.
+// TestOracleImplsAgree replays one stream through all three
+// implementations side by side and asserts they agree with each other
+// (not just the oracle) on every returned value — the sharded map is the
+// reference implementation for both lock-free tables.
 func TestOracleImplsAgree(t *testing.T) {
 	hash := func(k int) uint64 { return Mix64(uint64(k)) }
 	a := New[int, int](4, 8, hash)
-	b := NewLockFree[int, int](2, hash)
+	others := map[string]Table[int, int]{
+		"lockfree": NewLockFree[int, int](2, hash),
+		"inline":   NewLockFreeInline[int, int](2, hash, EncInt, DecInt),
+	}
 	r := rng.New(11)
 	const keys, steps = 512, 20000
 	for step := 0; step < steps; step++ {
@@ -223,16 +227,22 @@ func TestOracleImplsAgree(t *testing.T) {
 		switch op {
 		case opStore:
 			a.Store(key, val)
-			b.Store(key, val)
+			for _, b := range others {
+				b.Store(key, val)
+			}
 		case opLoad:
 			av, aok := a.Load(key)
-			bv, bok := b.Load(key)
-			if av != bv || aok != bok {
-				t.Fatalf("step %d: Load(%d) sharded (%d,%v) lockfree (%d,%v)", step, key, av, aok, bv, bok)
+			for impl, b := range others {
+				bv, bok := b.Load(key)
+				if av != bv || aok != bok {
+					t.Fatalf("step %d: Load(%d) sharded (%d,%v) %s (%d,%v)", step, key, av, aok, impl, bv, bok)
+				}
 			}
 		case opDelete:
 			a.Delete(key)
-			b.Delete(key)
+			for _, b := range others {
+				b.Delete(key)
+			}
 		case opUpdate:
 			f := func(old int, ok bool) int {
 				if !ok {
@@ -241,30 +251,38 @@ func TestOracleImplsAgree(t *testing.T) {
 				return old*3 + val
 			}
 			av := a.UpdateAndGet(key, f)
-			bv := b.UpdateAndGet(key, f)
-			if av != bv {
-				t.Fatalf("step %d: UpdateAndGet(%d) sharded %d lockfree %d", step, key, av, bv)
+			for impl, b := range others {
+				bv := b.UpdateAndGet(key, f)
+				if av != bv {
+					t.Fatalf("step %d: UpdateAndGet(%d) sharded %d %s %d", step, key, av, impl, bv)
+				}
 			}
 		case opLoadOrStore:
 			av, al := a.LoadOrStore(key, val)
-			bv, bl := b.LoadOrStore(key, val)
-			if av != bv || al != bl {
-				t.Fatalf("step %d: LoadOrStore(%d) sharded (%d,%v) lockfree (%d,%v)", step, key, av, al, bv, bl)
+			for impl, b := range others {
+				bv, bl := b.LoadOrStore(key, val)
+				if av != bv || al != bl {
+					t.Fatalf("step %d: LoadOrStore(%d) sharded (%d,%v) %s (%d,%v)", step, key, av, al, impl, bv, bl)
+				}
 			}
 		case opGrowBurst:
 			for i := 0; i < 64; i++ {
 				a.Store(key+i, i)
-				b.Store(key+i, i)
+				for _, b := range others {
+					b.Store(key+i, i)
+				}
 			}
 		}
 	}
-	if a.Len() != b.Len() {
-		t.Fatalf("final Len: sharded %d lockfree %d", a.Len(), b.Len())
-	}
-	a.Range(func(k, v int) bool {
-		if bv, ok := b.Load(k); !ok || bv != v {
-			t.Fatalf("key %d: sharded %d, lockfree (%d,%v)", k, v, bv, ok)
+	for impl, b := range others {
+		if a.Len() != b.Len() {
+			t.Fatalf("final Len: sharded %d %s %d", a.Len(), impl, b.Len())
 		}
-		return true
-	})
+		a.Range(func(k, v int) bool {
+			if bv, ok := b.Load(k); !ok || bv != v {
+				t.Fatalf("key %d: sharded %d, %s (%d,%v)", k, v, impl, bv, ok)
+			}
+			return true
+		})
+	}
 }

@@ -204,6 +204,53 @@ func TestPack(t *testing.T) {
 	}
 }
 
+func TestPackInto(t *testing.T) {
+	// Equivalence with Pack across sizes, including reuse of dst and
+	// counts round over round.
+	var dst []uint64
+	var counts []int
+	for _, n := range []int{0, 1, 5, 100, 4096, 100000} {
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = uint64(i * 7)
+		}
+		keep := func(i int) bool { return xs[i]%3 == 0 }
+		want := Pack(xs, keep)
+		dst, counts = PackInto(dst, xs, keep, counts)
+		if len(dst) != len(want) {
+			t.Fatalf("n=%d: len=%d want %d", n, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d]=%d want %d", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPackIntoSteadyStateAllocs(t *testing.T) {
+	// Once dst and counts have plateaued, PackInto itself allocates
+	// nothing; on a multi-worker run each inner loop costs the scheduler's
+	// O(1) task state, which is still independent of n.
+	n := 1 << 14
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = uint64(i)
+	}
+	keep := func(i int) bool { return xs[i]%2 == 0 }
+	dst := make([]uint64, 0, n)
+	counts := make([]int, 0, 1024)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst, counts = PackInto(dst, xs, keep, counts)
+	})
+	// The block-pass closures escape into the scheduler's task state: a
+	// small constant per call (two loop bodies, plus loopTask state on
+	// multi-worker runs), never O(n).
+	if allocs > 16 {
+		t.Fatalf("PackInto allocs/op = %v, want O(1) <= 16 (GOMAXPROCS=%d)", allocs, MaxProcs())
+	}
+}
+
 func TestPackIndexAndFilter(t *testing.T) {
 	idx := PackIndex(10, func(i int) bool { return i%3 == 0 })
 	want := []int{0, 3, 6, 9}

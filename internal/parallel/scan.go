@@ -145,6 +145,59 @@ func Pack[T any](xs []T, flag func(i int) bool) []T {
 	return out
 }
 
+// PackInto is Pack for steady-state callers: it compacts the elements of
+// xs for which keep(i) reports true into dst, reusing dst's capacity, and
+// uses counts as the per-block scratch (grown only when too small). It
+// returns the packed slice and the scratch so the caller can thread both
+// through repeated rounds; once capacities have plateaued, a call
+// allocates nothing beyond the scheduler's own O(1) per-loop state. keep
+// is evaluated twice per index (count pass, then write pass), so it must
+// be cheap and deterministic — precompute a flag array for expensive
+// predicates. Output order is the input order regardless of how blocks
+// are scheduled.
+func PackInto[T any](dst []T, xs []T, keep func(i int) bool, counts []int) ([]T, []int) {
+	n := len(xs)
+	if n == 0 {
+		return dst[:0], counts
+	}
+	nb := NumBlocks(n, 0)
+	if cap(counts) < nb {
+		counts = make([]int, nb)
+	}
+	counts = counts[:nb]
+	BlocksN(0, n, nb, func(b, lo, hi int) {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	// The block-count scan is tiny (at most chunksPerWorker·P entries);
+	// a sequential fold avoids the parallel scan's setup and allocations.
+	total := 0
+	for b := range counts {
+		c := counts[b]
+		counts[b] = total
+		total += c
+	}
+	if cap(dst) < total {
+		dst = make([]T, total)
+	}
+	dst = dst[:total]
+	BlocksN(0, n, nb, func(b, lo, hi int) {
+		pos := counts[b]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				dst[pos] = xs[i]
+				pos++
+			}
+		}
+	})
+	return dst, counts
+}
+
 // PackIndex returns, in order, the indices i in [0, n) with flag(i) true.
 func PackIndex(n int, flag func(i int) bool) []int {
 	if n == 0 {

@@ -1,8 +1,6 @@
 package scc
 
 import (
-	"sort"
-
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hashtable"
@@ -130,7 +128,14 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 		parallel.ForGrain(0, len(groups), 2, func(gi int) {
 			grp := groups[gi]
 			u := flat[grp.Indices[0]].target
-			// Collect this vertex's discoverers per direction.
+			// Collect this vertex's discoverers per direction. Both lists
+			// are ascending by construction — flat concatenates the pivot
+			// slots in increasing pivot order and Semisort returns indices
+			// in increasing order — so no sort is needed here (the engine's
+			// dedup discipline: derive order, don't re-establish it). The
+			// carve min-scan and the order-sensitive refine hash below rely
+			// on exactly this order, matching what the removed sorts
+			// produced.
 			var fwd, bwd []int32
 			for _, ix := range grp.Indices {
 				v := flat[ix]
@@ -140,8 +145,6 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 					bwd = append(bwd, v.pivot)
 				}
 			}
-			sort.Slice(fwd, func(a, b int) bool { return fwd[a] < fwd[b] })
-			sort.Slice(bwd, func(a, b int) bool { return bwd[a] < bwd[b] })
 			// Carve: smallest pivot present in both directions.
 			for i, j := 0, 0; i < len(fwd) && j < len(bwd); {
 				switch {
@@ -195,8 +198,12 @@ func Parallel(g *graph.Graph) (Labels, Stats) {
 func canonicalizePar(l Labels) (Labels, int) {
 	// Presized for the worst case of half the vertices being their own
 	// component; shattered graphs beyond that pay one cooperative growth.
-	minOf := hashtable.NewLockFree[int32, int32](len(l)/2+16,
-		func(k int32) uint64 { return hashtable.Mix64(uint64(uint32(k))) })
+	// int32 minima live in the seqlock inline-slot table: the winning
+	// min-writes allocate no value box (the remaining write cost UpdateIf
+	// could not prune away).
+	minOf := hashtable.NewLockFreeInline[int32, int32](len(l)/2+16,
+		func(k int32) uint64 { return hashtable.Mix64(uint64(uint32(k))) },
+		hashtable.EncInt32, hashtable.DecInt32)
 	parallel.ForGrain(0, len(l), 0, func(v int) {
 		// Pruned priority write (the ReduceMinIndex discipline): a cheap
 		// read skips the table op once the component's minimum has settled
