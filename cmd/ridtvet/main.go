@@ -1,0 +1,91 @@
+// Command ridtvet runs the repository's concurrency-invariant analyzer
+// suite (internal/analysis) over the module: atomicmix, atomicalign,
+// purecombine, parclosure, and noalloc. CI runs it beside go vet; a
+// finding that is intentional is suppressed in the source with
+//
+//	//ridtvet:ignore <analyzer> <justification>
+//
+// on the finding's line or the line above. See internal/analysis/DESIGN.md.
+//
+// Usage:
+//
+//	ridtvet [-dir d] [-notests] [-only name[,name]] [packages]
+//
+// packages default to ./... . Exit status: 0 clean, 1 findings, 2 usage
+// or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body, matching the cmd/ridt and
+// cmd/benchgate pattern: it returns the exit code instead of calling
+// os.Exit so the smoke tests can drive every mode in-process.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("ridtvet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("dir", ".", "directory of the module to analyze")
+	notests := fs.Bool("notests", false, "skip _test.go files")
+	only := fs.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: ridtvet [-dir d] [-notests] [-only name[,name]] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(errOut, "ridtvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	prog, err := analysis.Load(analysis.Config{
+		Dir:      *dir,
+		Patterns: fs.Args(),
+		Tests:    !*notests,
+	})
+	if err != nil {
+		fmt.Fprintf(errOut, "ridtvet: %v\n", err)
+		return 2
+	}
+	diags := analysis.RunAnalyzers(prog, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(out, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "ridtvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

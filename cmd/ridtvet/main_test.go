@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanTree runs the suite over the repository itself: the CI gate's
+// contract is that the tree stays finding-free (real problems fixed,
+// intentional ones suppressed with a justification).
+func TestCleanTree(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", "../..", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on the repository tree, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("diagnostics on a clean run:\n%s", out.String())
+	}
+}
+
+// TestSeededViolation builds a throwaway module with a mixed-atomic bug
+// and checks the findings exit path.
+func TestSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module seeded\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package seeded
+
+import "sync/atomic"
+
+var n int64
+
+func Bump() int64 { return atomic.AddInt64(&n, 1) }
+
+func Peek() int64 { return n }
+`
+	if err := os.WriteFile(filepath.Join(dir, "seeded.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir, "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on a seeded violation, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[atomicmix]") || !strings.Contains(out.String(), `"n"`) {
+		t.Fatalf("missing atomicmix finding:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "1 finding(s)") {
+		t.Fatalf("missing summary line: %q", errOut.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"bad pattern", []string{"-dir", "../..", "./does-not-exist/..."}},
+		{"unknown analyzer", []string{"-only", "bogus"}},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != 2 {
+				t.Fatalf("exit %d, want 2\n%s%s", code, out.String(), errOut.String())
+			}
+		})
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"atomicmix", "atomicalign", "purecombine", "parclosure", "noalloc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

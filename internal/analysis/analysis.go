@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named analysis over a loaded Program. Run receives
+// the whole program (analyses like atomicmix need the module-wide view of
+// a field's access sites) and reports findings through report; the driver
+// owns suppression, deduplication, and ordering.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, report ReportFunc)
+}
+
+// ReportFunc records one finding at pos.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// Diagnostic is one reported finding, position-resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Atomicmix, Atomicalign, Purecombine, Parclosure, Noalloc}
+}
+
+// ignorePrefix is the suppression directive. It suppresses matching
+// diagnostics on its own line and on the line directly below:
+//
+//	//ridtvet:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// The justification is mandatory; a directive without one is itself a
+// finding. A directive that suppresses nothing is reported as unused, so
+// stale suppressions cannot silently accumulate.
+const ignorePrefix = "//ridtvet:ignore"
+
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	used      bool
+}
+
+func (d *directive) matches(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs the given analyzers over prog's Module packages and
+// returns the surviving diagnostics: suppressed findings are dropped,
+// malformed and unused suppression directives are added (as analyzer
+// "ridtvet"), duplicates from test-variant double loads are merged, and
+// the result is sorted by position.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		a.Run(prog, func(pos token.Pos, format string, args ...any) {
+			raw = append(raw, Diagnostic{
+				Analyzer: name,
+				Pos:      prog.Fset.Position(pos),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		})
+	}
+
+	directives, malformed := collectDirectives(prog)
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, d := range raw {
+		if dir := lookupDirective(directives, d.Pos.Filename, d.Pos.Line, d.Analyzer); dir != nil {
+			dir.used = true
+			continue
+		}
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	out = append(out, malformed...)
+	for _, file := range sortedKeys(directives) {
+		for _, dir := range directives[file] {
+			if !dir.used {
+				out = append(out, Diagnostic{
+					Analyzer: "ridtvet",
+					Pos:      dir.pos,
+					Message: fmt.Sprintf("unused suppression for %s: nothing to suppress here",
+						strings.Join(dir.analyzers, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+func sortedKeys(m map[string][]*directive) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectDirectives scans every module file's comments for suppression
+// directives. Files shared between a package and its test variant are
+// scanned once.
+func collectDirectives(prog *Program) (map[string][]*directive, []Diagnostic) {
+	byFile := map[string][]*directive{}
+	var malformed []Diagnostic
+	seenFile := map[string]bool{}
+	for _, pkg := range prog.Module {
+		for _, file := range pkg.Files {
+			pos := prog.Fset.Position(file.Pos())
+			if seenFile[pos.Filename] {
+				continue
+			}
+			seenFile[pos.Filename] = true
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					cpos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 || !strings.HasPrefix(rest, " ") {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "ridtvet",
+							Pos:      cpos,
+							Message:  "malformed suppression: want \"//ridtvet:ignore <analyzer>[,<analyzer>] <justification>\"",
+						})
+						continue
+					}
+					byFile[cpos.Filename] = append(byFile[cpos.Filename], &directive{
+						pos:       cpos,
+						analyzers: strings.Split(fields[0], ","),
+					})
+				}
+			}
+		}
+	}
+	return byFile, malformed
+}
+
+// lookupDirective finds a directive covering a diagnostic of analyzer at
+// file:line: on the same line (end-of-line directive) or the line above.
+func lookupDirective(directives map[string][]*directive, file string, line int, analyzer string) *directive {
+	for _, dir := range directives[file] {
+		if (dir.pos.Line == line || dir.pos.Line == line-1) && dir.matches(analyzer) {
+			return dir
+		}
+	}
+	return nil
+}
+
+// --- shared analyzer helpers -------------------------------------------
+
+// calleeFunc resolves the function a call expression invokes, looking
+// through parentheses and generic instantiation. It returns nil for
+// builtins, type conversions, and dynamic calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the declaring package path of obj with any test-
+// variant suffix stripped, or "" for objects without a package.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return stripVariant(obj.Pkg().Path())
+}
+
+// isPkgNamed reports whether path names a package whose import path is
+// name or ends in "/name". The analyzers match the module's own packages
+// this way so the golden testdata trees can provide small stand-in
+// packages ("parallel", "core") with the real call signatures.
+func isPkgNamed(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// rootIdent peels selectors, indexing, dereferences, and parentheses off
+// an assignable expression and returns the base identifier, or nil (e.g.
+// for writes through a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf returns the object an identifier denotes, in either role.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != token.NoPos &&
+		node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// capturedVar returns the variable obj an identifier writes through if it
+// is captured by (declared outside) lit: a free variable of the closure.
+// Struct fields report as captured only through their receiver, so callers
+// pass the root identifier of the assigned expression.
+func capturedVar(info *types.Info, lit *ast.FuncLit, id *ast.Ident) *types.Var {
+	v, ok := objOf(info, id).(*types.Var)
+	if !ok || v.IsField() || declaredWithin(v, lit) {
+		return nil
+	}
+	return v
+}
+
+// eachWrite calls fn for every syntactic write inside body: assignment
+// LHSs (including :=, which fn can recognize via define) and ++/--
+// operands. Writes hidden behind called functions or range statements are
+// not visited.
+func eachWrite(body ast.Node, fn func(target ast.Expr, define bool)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				fn(lhs, st.Tok == token.DEFINE)
+			}
+		case *ast.IncDecStmt:
+			fn(st.X, false)
+		case *ast.RangeStmt:
+			if st.Tok == token.ASSIGN {
+				if st.Key != nil {
+					fn(st.Key, false)
+				}
+				if st.Value != nil {
+					fn(st.Value, false)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isInterface reports whether t is an interface type (but not a type
+// parameter, whose dynamic representation is the instantiated concrete
+// type).
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// shortPath trims a file path to its last two elements for messages.
+func shortPath(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// deref unwraps one pointer level.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The stdlib base load is shared across the golden tests: one typecheck of
+// the sync/atomic + math/rand + time closures covers every import the
+// testdata trees make.
+var (
+	baseOnce sync.Once
+	baseProg *Program
+	baseErr  error
+)
+
+func stdlibBase(t *testing.T) *Program {
+	t.Helper()
+	baseOnce.Do(func() {
+		baseProg, baseErr = Load(Config{
+			Dir:      ".",
+			Patterns: []string{"sync/atomic", "math/rand", "time"},
+		})
+	})
+	if baseErr != nil {
+		t.Fatalf("loading stdlib base: %v", baseErr)
+	}
+	return baseProg
+}
+
+// expectation is one `// want` comment in a golden file: the diagnostic
+// the analyzer must produce on that line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe extracts the backquoted patterns of a want comment:
+//
+//	code // want `pattern` `another`
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+func collectWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, after, found := strings.Cut(sc.Text(), "// want ")
+			if !found {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(after, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+				}
+				wants = append(wants, &expectation{file: path, line: line, re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no // want expectations under %s", root)
+	}
+	return wants
+}
+
+// runGolden loads testdata/<tree> on top of the stdlib base, runs exactly
+// one analyzer, and diffs the diagnostics against the tree's `// want`
+// comments both ways: every diagnostic must be expected, every
+// expectation must fire.
+func runGolden(t *testing.T, a *Analyzer, tree string) {
+	t.Helper()
+	prog, err := LoadTree(stdlibBase(t), filepath.Join("testdata", tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(prog, []*Analyzer{a})
+	wants := collectWants(t, filepath.Join("testdata", tree, "src"))
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestAtomicmixGolden(t *testing.T)   { runGolden(t, Atomicmix, "atomicmix") }
+func TestAtomicalignGolden(t *testing.T) { runGolden(t, Atomicalign, "atomicalign") }
+func TestPurecombineGolden(t *testing.T) { runGolden(t, Purecombine, "purecombine") }
+func TestParclosureGolden(t *testing.T)  { runGolden(t, Parclosure, "parclosure") }
+func TestNoallocGolden(t *testing.T)     { runGolden(t, Noalloc, "noalloc") }
+
+// TestSuppression drives the testdata/suppress tree, which seeds one
+// noalloc finding per function: grow and growInline carry valid
+// directives (line-above with an analyzer list, and same-line), stale
+// carries a directive with nothing under it, and bad carries one without
+// a justification. Expected surviving diagnostics: the unused directive,
+// the malformed directive, and bad's unsuppressed append.
+func TestSuppression(t *testing.T) {
+	prog, err := LoadTree(stdlibBase(t), filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(prog, []*Analyzer{Noalloc})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(diags), strings.Join(got, "\n"))
+	}
+	expect := []string{
+		`\[ridtvet\] unused suppression for noalloc`,
+		`\[ridtvet\] malformed suppression`,
+		`\[noalloc\] bad is //ridt:noalloc but calls append`,
+	}
+	for _, pat := range expect {
+		re := regexp.MustCompile(pat)
+		found := false
+		for _, g := range got {
+			if re.MatchString(g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in:\n%s", pat, strings.Join(got, "\n"))
+		}
+	}
+	// The count pin above doubles as the suppression check: if grow's or
+	// growInline's append had survived, there would be five diagnostics.
+}

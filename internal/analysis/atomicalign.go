@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Atomicalign checks the sync/atomic 64-bit alignment contract for 32-bit
+// targets (the "Bugs" note in sync/atomic): on 386 and arm, a 64-bit
+// atomic operand must be 64-bit aligned, and the compiler only guarantees
+// that for the first word of an allocated struct, slice element, global,
+// or local variable. The analyzer recomputes every &struct-field operand's
+// offset with 32-bit (GOARCH=386) sizes — int32 metadata next to a uint64
+// word moves the word to offset 4 — and flags any 64-bit operand whose
+// offset is not a multiple of 8, plus slice/array elements whose element
+// size is not a multiple of 8 (element i inherits misalignment for odd i).
+//
+// Fields of type atomic.Int64/atomic.Uint64 are exempt: since Go 1.19 the
+// compiler 8-aligns them everywhere. Known limit: the module is
+// typechecked once for the host GOARCH, so structs whose shape differs
+// under 386 build tags are checked in their host shape.
+var Atomicalign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic operands must be 8-byte aligned on 32-bit targets",
+	Run:  runAtomicalign,
+}
+
+// sizes32 are the gc layout rules for the stricter 32-bit targets.
+var sizes32 = types.SizesFor("gc", "386")
+
+func is64BitAtomic(name string) bool {
+	return strings.Contains(name, "Int64") || strings.Contains(name, "Uint64")
+}
+
+// align32 walks an addressable expression and computes the operand's byte
+// offset from its nearest guaranteed-8-aligned base under 32-bit layout.
+// ok is false when the offset is indeterminate in a way that cannot be
+// proven aligned (a slice/array element whose size is not a multiple of
+// 8). The desc return names the outermost struct for the message.
+func align32(info *types.Info, e ast.Expr) (off int64, desc string, ok bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		sel, isSel := info.Selections[x]
+		if !isSel || sel.Kind() != types.FieldVal {
+			return 0, "", true // qualified package var: globals are 8-aligned
+		}
+		// Fold the promoted-field chain: pointer hops reset the base to a
+		// fresh allocation (8-aligned); value hops accumulate offsets.
+		t := sel.Recv()
+		baseOff, baseDesc, baseOK := int64(0), "", true
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			baseOff, baseDesc, baseOK = align32(info, x.X)
+		}
+		off = baseOff
+		for _, idx := range sel.Index() {
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = deref(t)
+				off = 0
+				baseDesc = ""
+				baseOK = true
+			}
+			st, isStruct := t.Underlying().(*types.Struct)
+			if !isStruct {
+				return 0, "", true
+			}
+			fields := make([]*types.Var, st.NumFields())
+			for i := range fields {
+				fields[i] = st.Field(i)
+			}
+			off += sizes32.Offsetsof(fields)[idx]
+			if baseDesc == "" {
+				baseDesc = types.TypeString(t, func(p *types.Package) string { return p.Name() })
+			}
+			t = st.Field(idx).Type()
+		}
+		return off, baseDesc, baseOK
+	case *ast.IndexExpr:
+		tv, okT := info.Types[x.X]
+		if !okT {
+			return 0, "", true
+		}
+		var elem types.Type
+		switch seq := tv.Type.Underlying().(type) {
+		case *types.Slice:
+			elem = seq.Elem()
+		case *types.Array:
+			elem = seq.Elem()
+		case *types.Pointer: // *[N]T indexing
+			if arr, isArr := seq.Elem().Underlying().(*types.Array); isArr {
+				elem = arr.Elem()
+			}
+		}
+		if elem == nil {
+			return 0, "", true
+		}
+		if sizes32.Sizeof(elem)%8 != 0 {
+			return 0, fmt.Sprintf("[]%s", types.TypeString(elem, func(p *types.Package) string { return p.Name() })), false
+		}
+		return 0, "", true // 8-aligned backing array + 8-multiple stride
+	case *ast.StarExpr:
+		return 0, "", true // fresh allocation base
+	default:
+		return 0, "", true // plain variable: first word guarantee applies
+	}
+}
+
+// safeAlign32 guards align32 against layout queries go/types cannot
+// answer (e.g. fields of uninstantiated type-parameter structs); an
+// unanswerable operand is treated as aligned.
+func safeAlign32(info *types.Info, e ast.Expr) (off int64, desc string, ok bool) {
+	defer func() {
+		if recover() != nil {
+			off, desc, ok = 0, "", true
+		}
+	}()
+	return align32(info, e)
+}
+
+func runAtomicalign(prog *Program, report ReportFunc) {
+	for _, pkg := range prog.Module {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			if !prog.InModuleFile(file.Pos()) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || pkgPathOf(fn) != "sync/atomic" || !is64BitAtomic(fn.Name()) {
+					return true
+				}
+				for _, arg := range call.Args {
+					_, operand := atomicTarget(info, arg)
+					if operand == nil {
+						continue
+					}
+					off, desc, aligned := safeAlign32(info, operand)
+					switch {
+					case !aligned:
+						report(arg.Pos(), "64-bit atomic operand indexes %s, whose 32-bit element size is not a multiple of 8; odd elements are misaligned on 386/arm", desc)
+					case off%8 != 0:
+						report(arg.Pos(), "64-bit atomic operand sits at offset %d in %s under 32-bit layout; move it first or pad so the offset is a multiple of 8 (sync/atomic alignment bug note)", off, desc)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

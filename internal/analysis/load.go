@@ -1,0 +1,382 @@
+// Package analysis implements ridtvet, the repository's concurrency-
+// invariant analyzer suite: a set of static analyses over the module's
+// source that machine-check the structural properties the runtime suites
+// (-race, the hashtable fuzz oracles, the allocation-pin benchmarks) can
+// only check dynamically. See DESIGN.md in this directory for the
+// per-analyzer invariants and their known limits.
+//
+// The package is built on the standard library alone: package metadata
+// comes from `go list -deps -test -json`, syntax from go/parser, and
+// semantics from go/types with a hand-rolled importer that typechecks the
+// whole dependency closure (standard library included) from source. The
+// module has no external dependencies and the analyzers keep it that way.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package of a loaded Program.
+type Package struct {
+	Path     string // import path as listed, e.g. "repro/internal/parallel [repro/internal/parallel.test]"
+	BasePath string // Path with any test-variant suffix stripped
+	Name     string
+	Dir      string
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	InModule bool   // package belongs to the module under analysis
+	ForTest  string // non-empty for a test variant: the base package it recompiles
+	Errs     []error
+}
+
+// Program is a load of the module plus its full dependency closure.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package          // every typechecked package, dependencies first
+	ByPath   map[string]*Package // keyed by Package.Path
+	Module   []*Package          // the analysis targets (module packages, test variants included)
+
+	// moduleFiles is the set of file names belonging to Module packages;
+	// analyzers use it to restrict findings to code owned by this module.
+	moduleFiles map[string]bool
+}
+
+// InModuleFile reports whether pos lies in a file of a Module package.
+func (p *Program) InModuleFile(pos token.Pos) bool {
+	return p.moduleFiles[p.Fset.Position(pos).Filename]
+}
+
+// Config controls Load.
+type Config struct {
+	// Dir is the directory to run `go list` in (the module root, or any
+	// directory inside it).
+	Dir string
+	// Patterns are the `go list` package patterns; default ["./..."].
+	Patterns []string
+	// Tests includes test variants of matched packages (go list -test),
+	// so _test.go files are typechecked and analyzed too.
+	Tests bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error   *struct{ Err string }
+	DepOnly bool
+}
+
+// Load lists patterns (plus their full dependency closure) with the go
+// tool and typechecks every package from source in dependency order. It
+// returns an error if the go tool fails or if any package needed for the
+// analysis does not typecheck.
+func Load(cfg Config) (*Program, error) {
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// GoFiles is the complete compiled file list for every entry go list
+	// emits — for a test variant "p [p.test]" it already includes the
+	// package's _test.go files, and an external test package "p_test
+	// [p.test]" is its own entry.
+	args := []string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,Standard,ForTest,GoFiles,ImportMap,Module,Error,DepOnly"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	// CGO_ENABLED=0 keeps the file lists pure Go (cgo packages resolve to
+	// their fallback implementations, which go/types can check from
+	// source); GOWORK=off pins the load to the module at cfg.Dir.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	prog := &Program{
+		Fset:        token.NewFileSet(),
+		ByPath:      map[string]*Package{},
+		moduleFiles: map[string]bool{},
+	}
+	parsed := map[string]*ast.File{} // file name -> parsed file, shared across variants
+	var loadErrs []string
+
+	for _, lp := range listed {
+		switch {
+		case lp.ImportPath == "unsafe":
+			prog.ByPath["unsafe"] = &Package{Path: "unsafe", BasePath: "unsafe", Types: types.Unsafe}
+			continue
+		case strings.HasSuffix(lp.ImportPath, ".test"):
+			// The synthesized test main; its sole file is generated at
+			// build time and nothing we keep imports it.
+			continue
+		}
+		if lp.Error != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", lp.ImportPath, lp.Error.Err))
+			continue
+		}
+		pkg := &Package{
+			Path:     lp.ImportPath,
+			BasePath: stripVariant(lp.ImportPath),
+			Name:     lp.Name,
+			Dir:      lp.Dir,
+			ForTest:  lp.ForTest,
+			InModule: lp.Module != nil && lp.Module.Main,
+		}
+		names := lp.GoFiles
+		for _, name := range names {
+			fn := name
+			if !filepath.IsAbs(fn) {
+				fn = filepath.Join(lp.Dir, name)
+			}
+			file, ok := parsed[fn]
+			if !ok {
+				file, err = parser.ParseFile(prog.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					loadErrs = append(loadErrs, fmt.Sprintf("%s: %v", lp.ImportPath, err))
+					file = nil
+				}
+				parsed[fn] = file
+			}
+			if file != nil {
+				pkg.Files = append(pkg.Files, file)
+				if pkg.InModule {
+					prog.moduleFiles[fn] = true
+				}
+			}
+		}
+		typecheck(prog, pkg, lp.ImportMap)
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[pkg.Path] = pkg
+		for _, e := range pkg.Errs {
+			loadErrs = append(loadErrs, e.Error())
+		}
+	}
+	if len(loadErrs) > 0 {
+		sort.Strings(loadErrs)
+		return nil, fmt.Errorf("load failed:\n  %s", strings.Join(loadErrs, "\n  "))
+	}
+
+	// The analysis targets: module packages, with a plain package dropped
+	// when its test variant (a superset of the same files) is present.
+	superseded := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		if pkg.ForTest != "" {
+			superseded[pkg.ForTest] = true
+		}
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.InModule && !superseded[pkg.Path] {
+			prog.Module = append(prog.Module, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// typecheck type-checks pkg against the packages already in prog.
+func typecheck(prog *Program, pkg *Package, importMap map[string]string) {
+	conf := types.Config{
+		Importer:    &resolver{prog: prog, importMap: importMap},
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	if conf.Sizes == nil {
+		conf.Sizes = types.SizesFor("gc", "amd64")
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	// Check reports every error through conf.Error; its return value
+	// duplicates the first one.
+	pkg.Types, _ = conf.Check(pkg.Path, prog.Fset, pkg.Files, pkg.Info)
+}
+
+// resolver resolves one package's imports against the already-typechecked
+// set, applying the go list ImportMap (test-variant redirections).
+type resolver struct {
+	prog      *Program
+	importMap map[string]string
+}
+
+func (r *resolver) Import(path string) (*types.Package, error) {
+	return r.ImportFrom(path, "", 0)
+}
+
+func (r *resolver) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if mapped, ok := r.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := r.prog.ByPath[path]; ok && p.Types != nil {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded (dependency order)", path)
+}
+
+// stripVariant removes a test-variant suffix: "p [p.test]" -> "p".
+func stripVariant(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// LoadTree parses and typechecks a self-contained testdata package tree
+// rooted at root: every directory root/src/<path> holding .go files
+// becomes a package with import path <path>. Imports resolve first within
+// the tree, then against base's packages (the standard library closure a
+// prior Load pulled in). The returned Program's Module set is exactly the
+// tree's packages, so RunAnalyzers on it analyzes only the testdata.
+func LoadTree(base *Program, root string) (*Program, error) {
+	src := filepath.Join(root, "src")
+	var dirs []string
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadtree %s: %v", root, err)
+	}
+
+	prog := &Program{
+		Fset:        base.Fset,
+		ByPath:      map[string]*Package{},
+		moduleFiles: map[string]bool{},
+	}
+	for path, pkg := range base.ByPath {
+		prog.ByPath[path] = pkg
+	}
+	prog.Packages = append(prog.Packages, base.Packages...)
+
+	treeDirs := map[string]string{} // import path -> dir
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		hasGo := false
+		for _, ent := range ents {
+			if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			continue
+		}
+		rel, err := filepath.Rel(src, dir)
+		if err != nil {
+			return nil, err
+		}
+		treeDirs[filepath.ToSlash(rel)] = dir
+	}
+
+	loading := map[string]bool{}
+	var ensure func(path string) error
+	ensure = func(path string) error {
+		if p, ok := prog.ByPath[path]; ok && p.Types != nil {
+			return nil
+		}
+		dir, ok := treeDirs[path]
+		if !ok {
+			return fmt.Errorf("import %q: not in tree and not in the base load", path)
+		}
+		if loading[path] {
+			return fmt.Errorf("import cycle through %q", path)
+		}
+		loading[path] = true
+		defer delete(loading, path)
+
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		pkg := &Package{Path: path, BasePath: path, Dir: dir, InModule: true}
+		for _, ent := range ents {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+				continue
+			}
+			fn := filepath.Join(dir, ent.Name())
+			file, err := parser.ParseFile(prog.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			pkg.Files = append(pkg.Files, file)
+			prog.moduleFiles[fn] = true
+		}
+		for _, file := range pkg.Files {
+			pkg.Name = file.Name.Name
+			for _, imp := range file.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if err := ensure(p); err != nil {
+					return err
+				}
+			}
+		}
+		typecheck(prog, pkg, nil)
+		if len(pkg.Errs) > 0 {
+			return fmt.Errorf("testdata package %s: %v", path, pkg.Errs[0])
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[path] = pkg
+		prog.Module = append(prog.Module, pkg)
+		return nil
+	}
+
+	paths := make([]string, 0, len(treeDirs))
+	for path := range treeDirs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := ensure(path); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}

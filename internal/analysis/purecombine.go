@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Purecombine checks the determinism contract of the parallel reduction
+// primitives. parallel.Reduce and parallel.ScanExclusive combine partial
+// results over a fixed pairwise tree, and parallel.ReduceMinIndex prunes
+// predicate evaluations by reservation order — the bit-identical output
+// guarantee holds only if the element function, combine operator, and
+// predicate are deterministic and side-effect free. A combine that ranges
+// over a map, consults math/rand or the clock, or writes a captured
+// variable produces schedule-dependent results that no test rerun will
+// reproduce.
+//
+// The analyzer inspects function literals passed in those operand
+// positions and flags: map iteration, calls into math/rand, math/rand/v2,
+// or time, and writes to variables declared outside the literal. Known
+// limits: operands passed as named functions or through variables are not
+// traced, and writes through captured pointers (p := &x outside, *p = ...
+// routed via a call) are visible only at the direct-assignment shapes
+// eachWrite sees.
+var Purecombine = &Analyzer{
+	Name: "purecombine",
+	Doc:  "combine/reduce operands of the parallel primitives must be deterministic and pure",
+	Run:  runPurecombine,
+}
+
+// combineOperands maps parallel-package functions to the argument indices
+// holding determinism-sensitive operands.
+var combineOperands = map[string][]int{
+	"Reduce":         {3, 4}, // f, op
+	"ScanExclusive":  {2},    // op
+	"ReduceMinIndex": {3},    // pred
+}
+
+// nondetPkgs are packages whose use inside a combine makes the result
+// schedule- or time-dependent.
+var nondetPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"time":         true,
+}
+
+func runPurecombine(prog *Program, report ReportFunc) {
+	for _, pkg := range prog.Module {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !isPkgNamed(pkgPathOf(fn), "parallel") {
+					return true
+				}
+				idxs, ok := combineOperands[fn.Name()]
+				if !ok {
+					return true
+				}
+				for _, i := range idxs {
+					if i >= len(call.Args) {
+						continue
+					}
+					if lit, ok := ast.Unparen(call.Args[i]).(*ast.FuncLit); ok {
+						checkCombinePurity(info, fn.Name(), lit, report)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkCombinePurity(info *types.Info, callee string, lit *ast.FuncLit, report ReportFunc) {
+	// Map iteration: order is randomized per run.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(x.Pos(), "operand of parallel.%s ranges over a map; iteration order is nondeterministic", callee)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil && nondetPkgs[pkgPathOf(fn)] {
+				report(x.Pos(), "operand of parallel.%s calls %s.%s; combines must be deterministic across schedules and reruns",
+					callee, fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+	// Captured writes: a combine may run any number of times, concurrently,
+	// in schedule order — writing anything it closes over is both a race
+	// and a determinism leak.
+	eachWrite(lit.Body, func(target ast.Expr, define bool) {
+		if define {
+			return
+		}
+		root := rootIdent(target)
+		if root == nil {
+			return
+		}
+		if v := capturedVar(info, lit, root); v != nil {
+			report(target.Pos(), "operand of parallel.%s writes captured variable %q; combines must be pure", callee, v.Name())
+		}
+	})
+}

@@ -1,0 +1,47 @@
+// Package aalign exercises atomicalign: the 64-bit operands that land at
+// a non-8-multiple offset under GOARCH=386 layout must be flagged, and
+// the padded / wrapper-typed / 8-stride shapes are the near-miss
+// negatives.
+package aalign
+
+import "sync/atomic"
+
+type misplaced struct {
+	gen uint32
+	n   uint64 // offset 4 under 32-bit layout
+}
+
+type padded struct {
+	n   uint64 // first word: guaranteed aligned
+	gen uint32
+}
+
+type wrapped struct {
+	gen uint32
+	n   atomic.Uint64 // align64-marked by the compiler since Go 1.19
+}
+
+func bumpMisplaced(m *misplaced) uint64 {
+	return atomic.AddUint64(&m.n, 1) // want `offset 4 in aalign.misplaced`
+}
+
+func bumpPadded(p *padded) uint64 {
+	return atomic.AddUint64(&p.n, 1) // negative: offset 0
+}
+
+func bumpWrapped(w *wrapped) uint64 {
+	return w.n.Add(1) // negative: wrapper fields are 8-aligned everywhere
+}
+
+type pairOdd struct {
+	n   uint64
+	tag uint32 // 12-byte elements under 32-bit layout: odd indices misalign n
+}
+
+func bumpElem(s []uint64, i int) uint64 {
+	return atomic.AddUint64(&s[i], 1) // negative: 8-byte stride
+}
+
+func bumpOddElem(s []pairOdd, i int) uint64 {
+	return atomic.AddUint64(&s[i].n, 1) // want `element size is not a multiple of 8`
+}

@@ -1,0 +1,31 @@
+// Package amix exercises atomicmix: hits and published acquire atomic
+// sites, so their plain accesses must be flagged; cold never does, so its
+// plain access is the near-miss negative.
+package amix
+
+import "sync/atomic"
+
+type counterMix struct {
+	hits int64
+	cold int64
+}
+
+func (c *counterMix) bump() int64 {
+	return atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counterMix) peek() int64 {
+	return c.hits // want `plain access to "hits"`
+}
+
+func (c *counterMix) peekCold() int64 {
+	return c.cold // negative: cold has no atomic access site
+}
+
+var published int64
+
+func publish() { atomic.StoreInt64(&published, 1) }
+
+func sniff() int64 {
+	return published // want `plain access to "published"`
+}

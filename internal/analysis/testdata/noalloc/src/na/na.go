@@ -1,0 +1,69 @@
+// Package na exercises noalloc on //ridt:noalloc-annotated functions.
+package na
+
+type ring struct {
+	buf  []int64
+	head int
+}
+
+//ridt:noalloc
+func (r *ring) push(v int64) bool { // negative body: indexed writes only
+	if r.head == len(r.buf) {
+		return false
+	}
+	r.buf[r.head] = v
+	r.head++
+	return true
+}
+
+//ridt:noalloc
+func (r *ring) grow(n int) {
+	r.buf = append(r.buf, make([]int64, n)...) // want `calls append` `calls make`
+}
+
+//ridt:noalloc
+func box(v int64) any {
+	return v // want `implicitly boxes int64 into any`
+}
+
+//ridt:noalloc
+func capture(xs []int64) func() int64 {
+	i := 0
+	return func() int64 { // want `creates a capturing closure`
+		i++
+		return xs[i-1]
+	}
+}
+
+//ridt:noalloc
+func fixed() func() int64 {
+	return func() int64 { return 42 } // negative: no captures, static closure
+}
+
+//ridt:noalloc
+func label(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+func work() {}
+
+//ridt:noalloc
+func spawn() {
+	go work() // want `starts a goroutine`
+}
+
+//ridt:noalloc
+func sliceLit() []int {
+	return []int{1} // want `builds a slice literal`
+}
+
+type pt struct{ x, y int64 }
+
+//ridt:noalloc
+func mk() pt {
+	return pt{1, 2} // negative: value composite literal, no allocation
+}
+
+func alloc(n int) []int64 {
+	return make([]int64, n) // negative: not annotated
+}

@@ -1,0 +1,10 @@
+// Package core is a stand-in carrying the Type2Hooks shape so the golden
+// files typecheck without importing the module itself.
+package core
+
+type Type2Hooks struct {
+	RunFirst   func()
+	IsSpecial  func(k int) bool
+	RunRegular func(lo, hi int)
+	RunSpecial func(k int)
+}

@@ -1,0 +1,60 @@
+// Package pc exercises purecombine on the Reduce/ScanExclusive/
+// ReduceMinIndex operand positions.
+package pc
+
+import (
+	"math/rand"
+	"time"
+
+	"parallel"
+)
+
+func sum(xs []int64) int64 {
+	return parallel.Reduce(0, len(xs), 0,
+		func(i int) int64 { return xs[i] },
+		func(a, b int64) int64 { return a + b }) // negative: pure combine
+}
+
+func jittered(xs []int64) int64 {
+	return parallel.Reduce(0, len(xs), 0,
+		func(i int) int64 { return xs[i] + rand.Int63() }, // want `calls rand.Int63`
+		func(a, b int64) int64 { return a + b })
+}
+
+func timed(xs []int64) int64 {
+	var spent int64
+	return parallel.Reduce(0, len(xs), 0,
+		func(i int) int64 { return xs[i] },
+		func(a, b int64) int64 {
+			spent++         // want `writes captured variable "spent"`
+			t := time.Now() // want `calls time.Now`
+			_ = t
+			return a + b
+		})
+}
+
+func keyed(m map[int]int64, xs []int64) int64 {
+	return parallel.ScanExclusive(xs, 0, func(a, b int64) int64 {
+		for _, v := range m { // want `ranges over a map`
+			a += v
+		}
+		return a + b
+	})
+}
+
+func seeded(xs []int64) int64 {
+	start := rand.Intn(2) // negative: nondeterminism outside the operands
+	return parallel.Reduce(start, len(xs), 0,
+		func(i int) int64 { return xs[i] },
+		func(a, b int64) int64 { return a + b })
+}
+
+func firstSpecial(flags []bool) int {
+	count := 0
+	idx, _ := parallel.ReduceMinIndex(0, len(flags), 64, func(i int) bool {
+		count++ // want `writes captured variable "count"`
+		return flags[i]
+	})
+	_ = count
+	return idx
+}

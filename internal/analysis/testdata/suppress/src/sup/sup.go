@@ -1,0 +1,27 @@
+// Package sup exercises the //ridtvet:ignore suppression machinery: the
+// line-above and same-line forms, the comma-separated analyzer list, the
+// mandatory justification, and the unused-directive report.
+package sup
+
+//ridt:noalloc
+func grow(xs []int64) []int64 {
+	//ridtvet:ignore noalloc,parclosure the caller pre-reserves capacity
+	return append(xs, 1)
+}
+
+//ridt:noalloc
+func growInline(xs []int64) []int64 {
+	return append(xs, 2) //ridtvet:ignore noalloc same-line form; the caller pre-reserves capacity
+}
+
+//ridt:noalloc
+func stale(x int64) int64 {
+	//ridtvet:ignore noalloc nothing allocates on this line
+	return x + 1
+}
+
+//ridt:noalloc
+func bad(xs []int64) []int64 {
+	//ridtvet:ignore noalloc
+	return append(xs, 3)
+}

@@ -112,6 +112,7 @@ func type2Trace(t *testing.T, n int, specialAt map[int]bool) {
 						t.Fatalf("%s: special iteration %d run as regular", runner.name, k)
 					}
 					executed[k] = true
+					//ridtvet:ignore parclosure trace recorder: both runners call RunRegular serially, once per sub-round
 					order = append(order, k)
 				}
 			},

@@ -33,6 +33,8 @@ type i32arena struct {
 // take returns a zero-length slice with capacity n carved at the cursor.
 // The caller appends at most n elements, then calls commit with the count
 // actually kept; the un-kept tail is reused by the next take.
+//
+//ridt:noalloc
 func (a *i32arena) take(n int) []int32 {
 	for {
 		if a.ci < len(a.chunks) {
@@ -48,16 +50,21 @@ func (a *i32arena) take(n int) []int32 {
 		if n > size {
 			size = n
 		}
+		//ridtvet:ignore noalloc amortized refill: a new chunk only when the cursor outruns every existing one; steady-state rounds reuse
 		a.chunks = append(a.chunks, make([]int32, size))
 	}
 }
 
 // commit advances the cursor past the first n elements of the last take.
+//
+//ridt:noalloc
 func (a *i32arena) commit(n int) { a.pos += n }
 
 // reset rewinds the cursor, keeping the chunks for reuse. The production
 // round engine never resets (E lists outlive rounds); the allocation-pin
 // tests and benchmarks use it to demonstrate steady-state reuse.
+//
+//ridt:noalloc
 func (a *i32arena) reset() { a.ci, a.pos = 0, 0 }
 
 // growSlice returns s with length n, reallocating only when the capacity

@@ -43,11 +43,15 @@ type faceEntry struct {
 	claim  int32 // smallest fire index that touched it in that round
 }
 
+//
+//ridt:noalloc
 func encFace(e faceEntry) (uint64, uint64) {
 	return uint64(uint32(e.t0))<<32 | uint64(uint32(e.t1)),
 		uint64(uint32(e.round))<<32 | uint64(uint32(e.claim))
 }
 
+//
+//ridt:noalloc
 func decFace(a, b uint64) faceEntry {
 	return faceEntry{
 		t0: int32(uint32(a >> 32)), t1: int32(uint32(a)),
@@ -132,7 +136,10 @@ func newRoundEngine(pts []geom.Point) *roundEngine {
 // carrying the smaller fire index, no matter the interleaving — min is
 // commutative — which is what makes the sort-free dedup deterministic.
 // Factored out of step so the contention race test can drive it directly.
+//
+//ridt:noalloc
 func attachNewFace(faces *hashtable.LockFreeInline[uint64, faceEntry], fk2 uint64, id, round, k int32) {
+	//ridtvet:ignore noalloc the closure does not escape Update and stays on the stack (round allocation pin)
 	faces.Update(fk2, func(old faceEntry, ok bool) faceEntry {
 		if !ok {
 			return faceEntry{t0: id, t1: NoTri, round: round, claim: k}
@@ -151,6 +158,8 @@ func attachNewFace(faces *hashtable.LockFreeInline[uint64, faceEntry], fk2 uint6
 
 // step runs one round; it reports false (and does nothing further) when no
 // face activates, i.e. the triangulation is complete.
+//
+//ridt:noalloc
 func (e *roundEngine) step() bool {
 	s, ar, faces := e.s, e.ar, e.faces
 
@@ -162,6 +171,7 @@ func (e *roundEngine) step() bool {
 	ar.evalF = growSlice(ar.evalF, nc)
 	ar.evalOK = growSlice(ar.evalOK, nc)
 	cand, evalF, evalOK := e.cand, ar.evalF, ar.evalOK
+	//ridtvet:ignore noalloc one activation closure per round, O(1) against O(m) work
 	parallel.Blocks(0, nc, activationGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			evalOK[i] = false
@@ -184,6 +194,7 @@ func (e *roundEngine) step() bool {
 		}
 	})
 	ar.fires, ar.counts = parallel.PackInto(ar.fires, evalF,
+		//ridtvet:ignore noalloc one pack predicate per round, O(1) against O(m) work
 		func(i int) bool { return evalOK[i] }, ar.counts)
 	fires := ar.fires
 	m := len(fires)
@@ -207,6 +218,7 @@ func (e *roundEngine) step() bool {
 	newTris, newDepth, preds := ar.newTris, ar.newDepth, ar.preds
 	earenas := ar.eArenas(nb)
 	var tests atomic.Int64
+	//ridtvet:ignore noalloc one Phase A closure per round, O(1) against O(m) work
 	parallel.BlocksN(0, m, nb, func(bi, lo, hi int) {
 		pred := &preds[bi]
 		ea := earenas[bi]
@@ -244,12 +256,15 @@ func (e *roundEngine) step() bool {
 	// in one round, exactly the one whose index the face ends up carrying
 	// emits it as a candidate.
 	base := int32(len(s.tris))
+	//ridtvet:ignore noalloc the triangle log is reserved to its final size in newRoundEngine; the append almost never regrows
 	s.tris = append(s.tris, newTris...)
+	//ridtvet:ignore noalloc reserved alongside the triangle log in newRoundEngine
 	s.depth = append(s.depth, newDepth...)
 	s.stats.TrianglesCreated += int64(m)
 
 	ar.dense = growSlice(ar.dense, 3*m)
 	dense := ar.dense
+	//ridtvet:ignore noalloc one Phase B closure per round, O(1) against O(m) work
 	parallel.BlocksN(0, m, nb, func(_, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			f := fires[k]
@@ -260,6 +275,7 @@ func (e *roundEngine) step() bool {
 			// It fired, so it already has both triangles and cannot be
 			// touched as a new face this round: this fire is its only
 			// toucher and wins its stamp outright.
+			//ridtvet:ignore noalloc the closure does not escape Update and stays on the stack (round allocation pin)
 			faces.Update(f.fk, func(old faceEntry, ok bool) faceEntry {
 				if old.t0 == f.t {
 					old.t0 = id
@@ -288,6 +304,7 @@ func (e *roundEngine) step() bool {
 	// face's final (round, claim) stamp for this round.
 	ar.keep = growSlice(ar.keep, 3*m)
 	keep := ar.keep
+	//ridtvet:ignore noalloc one emission closure per round, O(1) against O(m) work
 	parallel.Blocks(0, 3*m, emissionGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ent, _ := faces.Load(dense[i])
@@ -295,6 +312,7 @@ func (e *roundEngine) step() bool {
 		}
 	})
 	next, counts := parallel.PackInto(ar.cand, dense,
+		//ridtvet:ignore noalloc one pack predicate per round, O(1) against O(m) work
 		func(i int) bool { return keep[i] }, ar.counts)
 	ar.counts = counts
 	ar.cand = e.cand // recycle the old candidate buffer

@@ -78,17 +78,17 @@ func BenchmarkHashtableLookup(b *testing.B) {
 			b.ResetTimer()
 			var sink atomic.Int64
 			for i := 0; i < b.N; i++ {
-				var local int64
+				var local atomic.Int64
 				parallel.ForGrain(0, benchN, 256, func(k int) {
 					probe := uint64(k)
 					if k%10 == 9 {
 						probe += benchN // miss
 					}
 					if v, ok := m.Load(probe); ok {
-						local += v
+						local.Add(v)
 					}
 				})
-				sink.Store(local)
+				sink.Store(local.Load())
 			}
 		})
 	}
@@ -123,12 +123,12 @@ func BenchmarkHashtableMixed(b *testing.B) {
 			b.ResetTimer()
 			var sink atomic.Int64
 			for i := 0; i < b.N; i++ {
-				var local int64
+				var local atomic.Int64
 				parallel.ForGrain(0, benchN, 256, func(k int) {
 					switch k % 4 {
 					case 0, 1:
 						if v, ok := m.Load(uint64(k)); ok {
-							local += v
+							local.Add(v)
 						}
 					case 2:
 						m.Store(uint64(k), int64(k))
@@ -136,7 +136,7 @@ func BenchmarkHashtableMixed(b *testing.B) {
 						m.Update(uint64(k), func(old int64, ok bool) int64 { return old + 1 })
 					}
 				})
-				sink.Store(local)
+				sink.Store(local.Load())
 			}
 		})
 	}

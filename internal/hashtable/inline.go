@@ -58,6 +58,8 @@ type inSlot[K comparable] struct {
 }
 
 // read returns a consistent (meta, w0, w1) snapshot of the slot.
+//
+//ridt:noalloc
 func (sl *inSlot[K]) read() (m uint32, a, b uint64) {
 	for {
 		m = sl.meta.Load()
@@ -76,6 +78,8 @@ func (sl *inSlot[K]) read() (m uint32, a, b uint64) {
 }
 
 // lock claims the slot's write lock and returns the pre-lock meta.
+//
+//ridt:noalloc
 func (sl *inSlot[K]) lock() uint32 {
 	for {
 		m := sl.meta.Load()
@@ -91,10 +95,14 @@ func (sl *inSlot[K]) lock() uint32 {
 
 // unlock releases the write lock with the slot unchanged (no publish, no
 // sequence bump: nothing was written, so overlapping readers stay valid).
+//
+//ridt:noalloc
 func (sl *inSlot[K]) unlock(m uint32) { sl.meta.Store(m) }
 
 // publish releases the write lock with new flags and a bumped sequence.
 // Words must have been stored before the call.
+//
+//ridt:noalloc
 func (sl *inSlot[K]) publish(m, flags uint32) {
 	sl.meta.Store(((m &^ imFlags) + imSeq) | flags)
 }
@@ -154,6 +162,8 @@ func NewLockFreeInline[K comparable, V any](capacity int, hash Hasher[K],
 func (h *LockFreeInline[K, V]) hashOf(k K) uint64 { return Mix64(h.hash(k)) }
 
 // inFindRead probes t for k without claiming; same contract as findRead.
+//
+//ridt:noalloc
 func inFindRead[K comparable](t *inTable[K], k K, hv uint64) (s *inSlot[K], descend bool) {
 	for i, n := hv&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
 		sl := &t.slots[i]
@@ -179,6 +189,8 @@ func inFindRead[K comparable](t *inTable[K], k K, hv uint64) (s *inSlot[K], desc
 
 // findClaim probes t for k, claiming the first empty slot if k is absent;
 // same contract as the box table's findClaim.
+//
+//ridt:noalloc
 func (h *LockFreeInline[K, V]) findClaim(t *inTable[K], k K, hv uint64) (s *inSlot[K], descend, ok bool) {
 	for i, n := hv&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
 		sl := &t.slots[i]
@@ -334,6 +346,8 @@ func (h *LockFreeInline[K, V]) completeMigration(t *inTable[K], k K, m uint32, a
 }
 
 // Load returns the value for k, if present.
+//
+//ridt:noalloc
 func (h *LockFreeInline[K, V]) Load(k K) (V, bool) {
 	var zero V
 	t := h.cur.Load()
@@ -414,6 +428,8 @@ func (h *LockFreeInline[K, V]) loadAfterFreeze(t *inTable[K], k K, hv uint64) (V
 // leaves the slot as is. f runs exactly once, under the slot's write lock,
 // after the migration check — but may be re-invoked if the operation must
 // restart in the next table, so it must still be pure.
+//
+//ridt:noalloc
 func (h *LockFreeInline[K, V]) apply(k K, f func(old V, present bool) (V, bool)) {
 	var zero V
 	t := h.cur.Load()
@@ -470,6 +486,8 @@ func (h *LockFreeInline[K, V]) Store(k K, v V) {
 
 // Delete removes k (value-level tombstone, dropped at the next migration).
 // Deleting an absent key claims nothing: the probe is read-only.
+//
+//ridt:noalloc
 func (h *LockFreeInline[K, V]) Delete(k K) {
 	t := h.cur.Load()
 	hv := h.hashOf(k)
@@ -510,6 +528,8 @@ func (h *LockFreeInline[K, V]) Update(k K, f func(old V, ok bool) V) {
 
 // UpdateIf is Update with a leave-as-is escape hatch; both the no-op path
 // (a plain read) and the write path are allocation-free.
+//
+//ridt:noalloc
 func (h *LockFreeInline[K, V]) UpdateIf(k K, f func(old V, ok bool) (V, bool)) {
 	old, ok := h.Load(k)
 	if _, write := f(old, ok); !write {

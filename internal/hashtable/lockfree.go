@@ -123,6 +123,8 @@ func (h *LockFree[K, V]) hashOf(k K) uint64 { return Mix64(h.hash(k)) }
 // or nil with descend=false when k is provably absent from t, or nil with
 // descend=true when the probe hit a poisoned slot (k's state lives in
 // t.next).
+//
+//ridt:noalloc
 func findRead[K comparable, V any](t *lfTable[K, V], k K, hv uint64) (s *lfSlot[K, V], descend bool) {
 	for i, n := hv&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
 		sl := &t.slots[i]
@@ -307,6 +309,8 @@ func (h *LockFree[K, V]) installFrozen(nt *lfTable[K, V], k K, frozen *lfBox[V])
 }
 
 // Load returns the value for k, if present.
+//
+//ridt:noalloc
 func (h *LockFree[K, V]) Load(k K) (V, bool) {
 	var zero V
 	t := h.cur.Load()
@@ -506,21 +510,26 @@ func (h *LockFree[K, V]) Update(k K, f func(old V, ok bool) V) {
 // forever; migration drops it like any other tombstone. The same purity
 // contract as Update applies to f — it runs outside any lock and may be
 // called more than once, so it must be pure.
+//
+//ridt:noalloc
 func (h *LockFree[K, V]) UpdateIf(k K, f func(old V, ok bool) (V, bool)) {
 	old, ok := h.Load(k)
 	if _, write := f(old, ok); !write {
 		return
 	}
+	//ridtvet:ignore noalloc write path: the no-op path (the contract) returned above; this closure is only built for a committed write
 	h.apply(k, func(old V, present bool) *lfBox[V] {
 		v, write := f(old, present)
 		if !write {
 			if !present {
 				// May be a slot findClaim just claimed for us: it must not
 				// stay valueless, and "absent" is spelled tombstone.
+				//ridtvet:ignore noalloc write path: boxing the tombstone happens only after a committed write raced with a delete
 				return &lfBox[V]{del: true}
 			}
 			return nil
 		}
+		//ridtvet:ignore noalloc write path: the value box is the one allocation a committed write pays
 		return &lfBox[V]{v: v}
 	})
 }

@@ -91,6 +91,8 @@ const maxClaim = 4
 // takeFront claims the front half (rounded up, so at least one chunk,
 // capped at maxClaim) of the lane's remaining range. Owners call this
 // repeatedly; the unclaimed back stays exposed to thieves throughout.
+//
+//ridt:noalloc
 func (s *rangeSlot) takeFront() (lo, hi int, ok bool) {
 	for {
 		b := s.bounds.Load()
@@ -111,6 +113,8 @@ func (s *rangeSlot) takeFront() (lo, hi int, ok bool) {
 
 // stealBack splits off the back half (rounded up, so a one-chunk remnant is
 // stolen whole rather than stranded behind a stuck owner) of the range.
+//
+//ridt:noalloc
 func (s *rangeSlot) stealBack() (lo, hi int, ok bool) {
 	for {
 		b := s.bounds.Load()
@@ -129,6 +133,8 @@ func (s *rangeSlot) stealBack() (lo, hi int, ok bool) {
 // empty, re-exposing a stolen batch to further stealing (lazy splitting).
 // It reports false — and writes nothing — when the lane holds live chunks,
 // which can happen when more participants than lanes share the task.
+//
+//ridt:noalloc
 func (s *rangeSlot) install(lo, hi int) bool {
 	for {
 		b := s.bounds.Load()
@@ -143,6 +149,8 @@ func (s *rangeSlot) install(lo, hi int) bool {
 
 // drainAll empties the lane and returns how many chunks it removed. Used by
 // panic cancellation to account for everything not yet claimed.
+//
+//ridt:noalloc
 func (s *rangeSlot) drainAll() int64 {
 	for {
 		b := s.bounds.Load()
@@ -212,6 +220,8 @@ func (t *loopTask) runChunk(c int) {
 // panic anywhere in the loop the remaining chunks of the batch are skipped
 // (but still accounted): sequential semantics never reach iterations after
 // the first panicking one.
+//
+//ridt:noalloc
 func (t *loopTask) runRange(lo, hi int) {
 	defer t.finish(int64(hi - lo))
 	for c := lo; c < hi; c++ {
@@ -244,6 +254,8 @@ func (t *loopTask) recordPanic(r any) {
 // steal scans the other lanes in ring order starting after the thief's own
 // lane — thieves spread across victims instead of convoying on lane 0 —
 // and splits the back half off the first non-empty range found.
+//
+//ridt:noalloc
 func (t *loopTask) steal(lane int) (lo, hi int, ok bool) {
 	n := len(t.slots)
 	for i := 1; i < n; i++ {
@@ -260,6 +272,8 @@ func (t *loopTask) steal(lane int) (lo, hi int, ok bool) {
 // scan that finds every lane empty proves this participant cannot help
 // further (work may still be in flight in other goroutines' claimed
 // batches; completion is tracked by pending, not by this scan).
+//
+//ridt:noalloc
 func (t *loopTask) participate(lane int) {
 	for {
 		lo, hi, ok := t.slots[lane].takeFront()

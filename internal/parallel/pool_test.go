@@ -54,10 +54,10 @@ func TestChunkCounts(t *testing.T) {
 			calls.Add(1)
 			mu.lock()
 			if hi-lo < minSz {
-				minSz = hi - lo
+				minSz = hi - lo //ridtvet:ignore parclosure serialized by mu, held across the update
 			}
 			if hi-lo > maxSz {
-				maxSz = hi - lo
+				maxSz = hi - lo //ridtvet:ignore parclosure serialized by mu, held across the update
 			}
 			mu.unlock()
 		})
