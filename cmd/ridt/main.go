@@ -14,6 +14,9 @@
 //	ridt sccsweep  [-seed N] [-n N]           SCC workload robustness
 //	ridt shuffle   [-seed N]                  parallel shuffle depth
 //	ridt all                                  everything above
+//
+// Every command accepts -timeout; a run cut short by the deadline or by an
+// interrupt exits with code 3 after printing the tables that completed.
 package main
 
 import (
@@ -22,9 +25,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func sizesUpTo(max int, start int) []int {
@@ -36,13 +42,18 @@ func sizesUpTo(max int, start int) []int {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
 // run is the testable driver body: it parses args, dispatches the command,
 // and writes all output to out/errOut. The exit code is returned instead
 // of calling os.Exit, so smoke tests can invoke every mode in-process.
-func run(args []string, out, errOut io.Writer) int {
+// sigs, when non-nil, replaces the process signal feed (tests inject
+// interrupts through it); when nil, run subscribes to os.Interrupt.
+//
+// Exit codes: 0 success, 2 usage or flag errors, 3 run canceled by
+// -timeout or an interrupt (the output is a prefix of the full run).
+func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	if len(args) < 1 {
 		usage(errOut)
 		return 2
@@ -57,6 +68,7 @@ func run(args []string, out, errOut io.Writer) int {
 	n := fs.Int("n", 4096, "input size for single-size experiments")
 	maxN := fs.Int("max", 1<<17, "largest n for scaling sweeps")
 	trials := fs.Int("trials", 10, "trials per configuration")
+	timeout := fs.Duration("timeout", 0, "cancel the run after this duration and exit 3 (0 = no deadline)")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/--help is a successful exit, as under ExitOnError
@@ -70,10 +82,40 @@ func run(args []string, out, errOut io.Writer) int {
 		runtime.GOMAXPROCS(*procs)
 	}
 
+	// Cooperative shutdown: a deadline or an interrupt cancels the shared
+	// token, and the dispatch below skips every experiment not yet started
+	// — each completed table has already been printed, so a canceled run
+	// leaves a well-formed prefix of the full artifact set.
+	var canceler parallel.Canceler
+	if *timeout > 0 {
+		tm := time.AfterFunc(*timeout, canceler.Cancel)
+		defer tm.Stop()
+	}
+	if sigs == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		defer signal.Stop(ch)
+		sigs = ch
+	}
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-sigs:
+			canceler.Cancel()
+		case <-watcherDone:
+		}
+	}()
+
 	fmt.Fprintf(out, "ridt: GOMAXPROCS=%d seed=%d\n\n", runtime.GOMAXPROCS(0), *seed)
 
-	print := func(t *experiments.Table) {
-		fmt.Fprintln(out, t.String())
+	// print takes the table LAZILY (a thunk, not a value) so that a cancel
+	// landing between tables skips the remaining experiments entirely.
+	print := func(gen func() *experiments.Table) {
+		if canceler.Canceled() {
+			return
+		}
+		fmt.Fprintln(out, gen().String())
 	}
 
 	bad := false
@@ -84,20 +126,20 @@ func run(args []string, out, errOut io.Writer) int {
 		graphSizes := sizesUpTo(min(*maxN, 1<<14), 512)
 		switch which {
 		case "sort":
-			print(experiments.SortScaling(*seed, geomSizes))
+			print(func() *experiments.Table { return experiments.SortScaling(*seed, geomSizes) })
 		case "dt":
-			print(experiments.DelaunayScaling(*seed, dtSizes))
+			print(func() *experiments.Table { return experiments.DelaunayScaling(*seed, dtSizes) })
 		case "lp":
-			print(experiments.LPScaling(*seed, geomSizes))
+			print(func() *experiments.Table { return experiments.LPScaling(*seed, geomSizes) })
 		case "cp":
-			print(experiments.ClosestPairScaling(*seed, geomSizes))
+			print(func() *experiments.Table { return experiments.ClosestPairScaling(*seed, geomSizes) })
 		case "seb":
-			print(experiments.SEBScaling(*seed, geomSizes))
+			print(func() *experiments.Table { return experiments.SEBScaling(*seed, geomSizes) })
 		case "lelists":
-			print(experiments.LEListsScaling(*seed, graphSizes, 8, true))
-			print(experiments.LEListsScaling(*seed+1, graphSizes, 8, false))
+			print(func() *experiments.Table { return experiments.LEListsScaling(*seed, graphSizes, 8, true) })
+			print(func() *experiments.Table { return experiments.LEListsScaling(*seed+1, graphSizes, 8, false) })
 		case "scc":
-			print(experiments.SCCScaling(*seed, graphSizes, 4))
+			print(func() *experiments.Table { return experiments.SCCScaling(*seed, graphSizes, 4) })
 		case "":
 			for _, w := range []string{"sort", "dt", "lp", "cp", "seb", "lelists", "scc"} {
 				table1(w)
@@ -112,31 +154,51 @@ func run(args []string, out, errOut io.Writer) int {
 	case "table1":
 		table1(*row)
 	case "incircle":
-		print(experiments.InCircleConstant(*seed, sizesUpTo(min(*maxN, 1<<14), 512), *trials))
+		print(func() *experiments.Table {
+			return experiments.InCircleConstant(*seed, sizesUpTo(min(*maxN, 1<<14), 512), *trials)
+		})
 	case "depth":
-		print(experiments.DepthDistribution(*seed, *alg, *n, *trials))
+		print(func() *experiments.Table { return experiments.DepthDistribution(*seed, *alg, *n, *trials) })
 	case "special":
-		print(experiments.SpecialIterations(*seed, sizesUpTo(min(*maxN, 1<<15), 1024), *trials))
+		print(func() *experiments.Table {
+			return experiments.SpecialIterations(*seed, sizesUpTo(min(*maxN, 1<<15), 1024), *trials)
+		})
 	case "deps":
-		print(experiments.DependenceCounts(*seed, sizesUpTo(min(*maxN, 1<<15), 1024), *trials))
-		print(experiments.IncomingDependences(*seed, sizesUpTo(min(*maxN, 1<<13), 512), 8))
+		print(func() *experiments.Table {
+			return experiments.DependenceCounts(*seed, sizesUpTo(min(*maxN, 1<<15), 1024), *trials)
+		})
+		print(func() *experiments.Table {
+			return experiments.IncomingDependences(*seed, sizesUpTo(min(*maxN, 1<<13), 512), 8)
+		})
 	case "sccsweep":
-		print(experiments.SCCWorkloads(*seed, *n))
+		print(func() *experiments.Table { return experiments.SCCWorkloads(*seed, *n) })
 	case "gks":
-		print(experiments.GKSComparison(*seed, sizesUpTo(min(*maxN, 1<<14), 512)))
+		print(func() *experiments.Table {
+			return experiments.GKSComparison(*seed, sizesUpTo(min(*maxN, 1<<14), 512))
+		})
 	case "shuffle":
-		print(experiments.ShuffleDepth(*seed, sizesUpTo(*maxN, 1024)))
+		print(func() *experiments.Table { return experiments.ShuffleDepth(*seed, sizesUpTo(*maxN, 1024)) })
 	case "all":
 		table1("")
-		print(experiments.GKSComparison(*seed, sizesUpTo(1<<13, 512)))
-		print(experiments.InCircleConstant(*seed, sizesUpTo(1<<13, 512), *trials))
-		print(experiments.DepthDistribution(*seed, "sort", *n, *trials))
-		print(experiments.DepthDistribution(*seed, "dt", min(*n, 4096), *trials))
-		print(experiments.SpecialIterations(*seed, sizesUpTo(1<<14, 1024), *trials))
-		print(experiments.DependenceCounts(*seed, sizesUpTo(1<<14, 1024), *trials))
-		print(experiments.IncomingDependences(*seed, sizesUpTo(1<<12, 512), 8))
-		print(experiments.SCCWorkloads(*seed, *n))
-		print(experiments.ShuffleDepth(*seed, sizesUpTo(1<<16, 1024)))
+		print(func() *experiments.Table { return experiments.GKSComparison(*seed, sizesUpTo(1<<13, 512)) })
+		print(func() *experiments.Table {
+			return experiments.InCircleConstant(*seed, sizesUpTo(1<<13, 512), *trials)
+		})
+		print(func() *experiments.Table { return experiments.DepthDistribution(*seed, "sort", *n, *trials) })
+		print(func() *experiments.Table {
+			return experiments.DepthDistribution(*seed, "dt", min(*n, 4096), *trials)
+		})
+		print(func() *experiments.Table {
+			return experiments.SpecialIterations(*seed, sizesUpTo(1<<14, 1024), *trials)
+		})
+		print(func() *experiments.Table {
+			return experiments.DependenceCounts(*seed, sizesUpTo(1<<14, 1024), *trials)
+		})
+		print(func() *experiments.Table {
+			return experiments.IncomingDependences(*seed, sizesUpTo(1<<12, 512), 8)
+		})
+		print(func() *experiments.Table { return experiments.SCCWorkloads(*seed, *n) })
+		print(func() *experiments.Table { return experiments.ShuffleDepth(*seed, sizesUpTo(1<<16, 1024)) })
 	case "-h", "--help", "help":
 		usage(errOut)
 	default:
@@ -146,6 +208,10 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	if bad {
 		return 2
+	}
+	if canceler.Canceled() {
+		fmt.Fprintln(errOut, "ridt: run canceled (deadline or interrupt); the tables above are a prefix of the full run")
+		return 3
 	}
 	return 0
 }
@@ -164,7 +230,13 @@ commands:
   shuffle    parallel random-permutation depth
   all        run everything
 
-flags (after the command): -seed -row -alg -n -max -trials -procs
+flags (after the command): -seed -row -alg -n -max -trials -procs -timeout
+
+exit codes:
+  0  success
+  2  usage or flag errors
+  3  canceled (-timeout elapsed or interrupt received); printed tables
+     are a prefix of the full run
 `)
 }
 

@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ import (
 func runCapture(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
 	var out, errOut bytes.Buffer
-	code := run(args, &out, &errOut)
+	code := run(args, &out, &errOut, nil)
 	return out.String(), errOut.String(), code
 }
 
@@ -89,5 +90,58 @@ func TestFlagParsing(t *testing.T) {
 	out, _, code := runCapture(t, "shuffle", "-max", "1024", "-procs", "2")
 	if code != 0 || !strings.Contains(out, "GOMAXPROCS=2") {
 		t.Fatalf("-procs: code=%d out=%q", code, out)
+	}
+	if _, _, code := runCapture(t, "shuffle", "-timeout", "bogus"); code != 2 {
+		t.Fatalf("bad -timeout accepted: code=%d", code)
+	}
+}
+
+// TestTimeoutExitCode drives a multi-table run with an immediate deadline:
+// the run must stop between tables and exit 3 with the cancellation notice.
+func TestTimeoutExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not -short")
+	}
+	out, errOut, code := runCapture(t,
+		"all", "-max", "2048", "-n", "512", "-trials", "1", "-timeout", "1ns")
+	if code != 3 {
+		t.Fatalf("code = %d, want 3; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "canceled") {
+		t.Fatalf("missing cancellation notice: %q", errOut)
+	}
+	if !strings.Contains(out, "ridt: GOMAXPROCS=") {
+		t.Fatalf("banner missing from truncated run: %q", out)
+	}
+}
+
+// TestInterruptExitCode injects an interrupt through the test signal feed
+// mid-run; the driver must drain the remaining tables and exit 3.
+func TestInterruptExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not -short")
+	}
+	sigs := make(chan os.Signal, 1)
+	sigs <- os.Interrupt
+	var out, errOut bytes.Buffer
+	code := run([]string{"all", "-max", "2048", "-n", "512", "-trials", "1"},
+		&out, &errOut, sigs)
+	if code != 3 {
+		t.Fatalf("code = %d, want 3; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "canceled") {
+		t.Fatalf("missing cancellation notice: %q", errOut.String())
+	}
+}
+
+// TestTimeoutZeroIsNoDeadline pins that the default keeps the old exit
+// behavior: a complete run exits 0 even with -timeout given explicitly as 0.
+func TestTimeoutZeroIsNoDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not -short")
+	}
+	_, errOut, code := runCapture(t, "shuffle", "-max", "1024", "-timeout", "0")
+	if code != 0 {
+		t.Fatalf("code = %d, want 0; stderr: %s", code, errOut)
 	}
 }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// prefixHooks builds Type2Hooks over a scripted special-set that record
+// which iterations executed; cancelAfter (if > 0) cancels the token once
+// that many iterations have run.
+func prefixHooks(n int, specialAt map[int]bool, c *parallel.Canceler, cancelAfter int) (Type2Hooks, []bool) {
+	executed := make([]bool, n)
+	count := 0
+	mark := func(k int) {
+		executed[k] = true
+		count++
+		if cancelAfter > 0 && count == cancelAfter {
+			c.Cancel()
+		}
+	}
+	h := Type2Hooks{
+		RunFirst:  func() { mark(0) },
+		IsSpecial: func(k int) bool { return specialAt[k] },
+		RunRegular: func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				mark(k)
+			}
+		},
+		RunSpecial: func(k int) { mark(k) },
+	}
+	return h, executed
+}
+
+func TestRunType2CancelPrefixAtomic(t *testing.T) {
+	const n = 1000
+	specialAt := map[int]bool{7: true, 100: true, 101: true, 500: true, 900: true}
+	for _, cancelAfter := range []int{1, 5, 50, 300, 999} {
+		var c parallel.Canceler
+		h, executed := prefixHooks(n, specialAt, &c, cancelAfter)
+		st, err := RunType2Cancel(n, h, &c)
+		if !errors.Is(err, parallel.ErrCanceled) {
+			t.Fatalf("cancelAfter=%d: err = %v, want ErrCanceled", cancelAfter, err)
+		}
+		// Prefix atomicity: exactly [0, Committed) ran, nothing beyond.
+		for k := 0; k < n; k++ {
+			if executed[k] != (k < st.Committed) {
+				t.Fatalf("cancelAfter=%d: iteration %d executed=%v with Committed=%d",
+					cancelAfter, k, executed[k], st.Committed)
+			}
+		}
+		if st.Committed < cancelAfter {
+			t.Fatalf("cancelAfter=%d: Committed=%d below the work that ran", cancelAfter, st.Committed)
+		}
+	}
+}
+
+func TestRunType2CancelNilMatchesPlain(t *testing.T) {
+	const n = 500
+	specialAt := map[int]bool{3: true, 64: true, 65: true, 400: true}
+	h1, ex1 := prefixHooks(n, specialAt, nil, 0)
+	want := RunType2(n, h1)
+	h2, ex2 := prefixHooks(n, specialAt, nil, 0)
+	got, err := RunType2Cancel(n, h2, nil)
+	if err != nil {
+		t.Fatalf("nil-token RunType2Cancel = %v", err)
+	}
+	if got != want {
+		t.Fatalf("stats diverge: %+v vs %+v", got, want)
+	}
+	if want.Committed != n {
+		t.Fatalf("complete run Committed=%d, want %d", want.Committed, n)
+	}
+	for k := range ex1 {
+		if ex1[k] != ex2[k] {
+			t.Fatalf("iteration %d execution diverges", k)
+		}
+	}
+}
+
+func TestRunType2CancelPreCanceled(t *testing.T) {
+	var c parallel.Canceler
+	c.Cancel()
+	h, executed := prefixHooks(100, nil, &c, 0)
+	st, err := RunType2Cancel(100, h, &c)
+	if !errors.Is(err, parallel.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if st.Committed != 0 || executed[0] {
+		t.Fatalf("pre-canceled run committed %d iterations", st.Committed)
+	}
+}
+
+func TestRunType3CancelRoundAtomic(t *testing.T) {
+	const n = 1 << 10
+	var c parallel.Canceler
+	ran := make([]bool, n)
+	combinedTo := 0
+	h := Type3Hooks{
+		RunFirst: func() { ran[0] = true },
+		RunRound: func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				ran[k] = true
+			}
+			if lo >= 16 {
+				c.Cancel() // cancel mid-round: the combine must still run
+			}
+		},
+		Combine: func(lo, hi int) { combinedTo = hi },
+	}
+	st, err := RunType3Cancel(n, h, &c)
+	if !errors.Is(err, parallel.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Round atomicity: every round that ran was also combined, and
+	// Committed is the last combined boundary.
+	if st.Committed != combinedTo {
+		t.Fatalf("Committed=%d but last combine reached %d", st.Committed, combinedTo)
+	}
+	if st.Committed != 32 {
+		t.Fatalf("Committed=%d, want 32 (the round that canceled mid-flight)", st.Committed)
+	}
+	for k := 0; k < n; k++ {
+		if ran[k] != (k < st.Committed) {
+			t.Fatalf("iteration %d ran=%v with Committed=%d", k, ran[k], st.Committed)
+		}
+	}
+}
+
+func TestRunType3CancelNilMatchesPlain(t *testing.T) {
+	h := Type3Hooks{RunFirst: func() {}, RunRound: func(int, int) {}, Combine: func(int, int) {}}
+	want := RunType3(100, h)
+	got, err := RunType3Cancel(100, h, nil)
+	if err != nil || got != want {
+		t.Fatalf("nil-token RunType3Cancel = %+v, %v; want %+v", got, err, want)
+	}
+}
+
+// TestRunType2HookPanicLeavesRunnerReusable is the Type 2 half of the
+// panic-safety satellite: a hook panic propagates with its value, and a
+// fresh run on the same pool afterwards completes normally.
+func TestRunType2HookPanicLeavesRunnerReusable(t *testing.T) {
+	func() {
+		defer func() {
+			if r := recover(); r != "hook boom" {
+				t.Fatalf("recovered %v, want the hook's panic value", r)
+			}
+		}()
+		RunType2(100, Type2Hooks{
+			RunFirst:  func() {},
+			IsSpecial: func(k int) bool { return k == 10 },
+			RunRegular: func(lo, hi int) {
+				if lo <= 5 && 5 < hi {
+					panic("hook boom")
+				}
+			},
+			RunSpecial: func(int) {},
+		})
+		t.Fatal("runner returned past a panicking hook")
+	}()
+	h, executed := prefixHooks(200, map[int]bool{9: true}, nil, 0)
+	if st := RunType2(200, h); st.Committed != 200 {
+		t.Fatalf("post-panic run Committed=%d", st.Committed)
+	}
+	for k, ok := range executed {
+		if !ok {
+			t.Fatalf("post-panic run skipped iteration %d", k)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package fault
+
+import "testing"
+
+// These tests compile in both builds: the decision functions are shared
+// source, so the schedule's determinism and distribution are checked even
+// when injection itself is compiled out.
+
+func TestDecideDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for s := Site(0); s < NumSites; s++ {
+			for n := uint64(0); n < 200; n++ {
+				a1 := decide(seed, s, n, 0.05, 0.2)
+				a2 := decide(seed, s, n, 0.05, 0.2)
+				if a1 != a2 {
+					t.Fatalf("decide(%d, %v, %d) unstable: %v vs %v", seed, s, n, a1, a2)
+				}
+			}
+		}
+	}
+}
+
+func TestDecideRates(t *testing.T) {
+	const trials = 20000
+	var panics, delays int
+	for n := uint64(0); n < trials; n++ {
+		switch decide(7, TableMigrate, n, 0.1, 0.3) {
+		case ActPanic:
+			panics++
+		case ActDelay:
+			delays++
+		}
+	}
+	if f := float64(panics) / trials; f < 0.07 || f > 0.13 {
+		t.Fatalf("panic rate %.3f, want ~0.1", f)
+	}
+	if f := float64(delays) / trials; f < 0.25 || f > 0.35 {
+		t.Fatalf("delay rate %.3f, want ~0.3", f)
+	}
+	for n := uint64(0); n < 1000; n++ {
+		if decide(7, SchedClaim, n, 0, 0) != ActNone {
+			t.Fatalf("zero rates still fired at hit %d", n)
+		}
+		if decideSkip(7, SchedClaim, n, 0) {
+			t.Fatalf("zero skip rate still skipped at hit %d", n)
+		}
+		if !decideSkip(7, SchedClaim, n, 1) {
+			t.Fatalf("unit skip rate declined at hit %d", n)
+		}
+	}
+}
+
+func TestDecideSeedsDiffer(t *testing.T) {
+	// Different seeds must produce different schedules (else "seeded" is a
+	// lie); compare the first divergence over a modest horizon.
+	same := 0
+	for n := uint64(0); n < 1000; n++ {
+		if decide(1, DelaunayPhase, n, 0.2, 0.3) == decide(2, DelaunayPhase, n, 0.2, 0.3) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seeds 1 and 2 yield identical schedules")
+	}
+}
+
+func TestMaskOf(t *testing.T) {
+	c := Config{SiteMask: MaskOf(SchedClaim, TableMigrate)}
+	if !c.enabledSite(SchedClaim) || !c.enabledSite(TableMigrate) {
+		t.Fatal("masked-in site reported disabled")
+	}
+	if c.enabledSite(DelaunayPhase) {
+		t.Fatal("masked-out site reported enabled")
+	}
+	all := Config{}
+	for s := Site(0); s < NumSites; s++ {
+		if !all.enabledSite(s) {
+			t.Fatalf("zero mask must enable all sites; %v disabled", s)
+		}
+	}
+}
+
+func TestSiteStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Site(0); s < NumSites; s++ {
+		n := s.String()
+		if n == "" || n == "fault-site-?" || seen[n] {
+			t.Fatalf("site %d has bad or duplicate name %q", s, n)
+		}
+		seen[n] = true
+	}
+	if (Injected{Site: TableMigrate, Hit: 3}).Error() == "" {
+		t.Fatal("Injected must describe itself")
+	}
+}

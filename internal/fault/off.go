@@ -1,0 +1,39 @@
+//go:build !ridtfault
+
+package fault
+
+import "errors"
+
+// Enabled is false in the default build: every injection site is written
+// as `if fault.Enabled { ... }`, so the guard and the call are dead code
+// the compiler removes — hot paths keep their //ridt:noalloc pins and
+// benchgate allocation budgets untouched.
+const Enabled = false
+
+// ErrNotBuilt is returned by Enable when injection is compiled out.
+var ErrNotBuilt = errors.New("fault: injection not compiled in (build with -tags ridtfault)")
+
+// Enable reports ErrNotBuilt: the default build cannot inject faults.
+func Enable(Config) error { return ErrNotBuilt }
+
+// Disable is a no-op in the default build.
+func Disable() {}
+
+// Active reports whether a plan is live; never in the default build.
+func Active() bool { return false }
+
+// Inject is a no-op in the default build (and unreachable behind the
+// constant-false Enabled guard at every site).
+func Inject(Site) {}
+
+// SkipClaim never diverts a claim in the default build.
+func SkipClaim(Site) bool { return false }
+
+// Events returns the fired-injection log; always empty here.
+func Events() []Event { return nil }
+
+// PanicsFired reports injected panics since Enable; always 0 here.
+func PanicsFired() int { return 0 }
+
+// Hits reports how often a site was reached since Enable; always 0 here.
+func Hits(Site) uint64 { return 0 }

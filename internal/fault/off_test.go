@@ -1,0 +1,39 @@
+//go:build !ridtfault
+
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// The default build's stubs must be inert: no plan, no events, no panics,
+// and Enable must say so rather than silently do nothing.
+
+func TestOffBuildInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the ridtfault tag")
+	}
+	if err := Enable(Config{Seed: 1, PanicRate: 1}); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("Enable = %v, want ErrNotBuilt", err)
+	}
+	if Active() {
+		t.Fatal("Active must be false in the off build")
+	}
+	for s := Site(0); s < NumSites; s++ {
+		Inject(s) // must be a no-op, not a panic
+		if SkipClaim(s) {
+			t.Fatalf("SkipClaim(%v) diverted in the off build", s)
+		}
+		if Hits(s) != 0 {
+			t.Fatalf("Hits(%v) = %d in the off build", s, Hits(s))
+		}
+	}
+	if ev := Events(); len(ev) != 0 {
+		t.Fatalf("Events = %v in the off build", ev)
+	}
+	if PanicsFired() != 0 {
+		t.Fatal("PanicsFired != 0 in the off build")
+	}
+	Disable()
+}

@@ -1,0 +1,148 @@
+//go:build ridtfault
+
+package fault
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled is true under the ridtfault build tag: injection sites are
+// compiled in and consult the active plan. With no plan enabled the fast
+// path is a single atomic pointer load.
+const Enabled = true
+
+// plan is one Enable's immutable configuration plus its mutable counters.
+// Counters are per-site atomics; the decision for hit n of a site is a
+// pure function of (cfg.Seed, site, n), so the *schedule* is deterministic
+// even though which goroutine draws which hit depends on the interleaving
+// (see DESIGN.md: determinism is per (site, hit), not per goroutine).
+type plan struct {
+	cfg      Config
+	maxPanic int64
+	hits     [NumSites]padCounter
+	skips    [NumSites]padCounter
+	panics   atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// padCounter keeps each site's hit counter on its own cache line so
+// instrumented hot loops do not serialize on a shared counter word.
+type padCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+var active atomic.Pointer[plan]
+
+// Enable installs an injection plan. It replaces any previous plan and
+// resets all counters and the event log. Returns nil under ridtfault.
+func Enable(cfg Config) error {
+	p := &plan{cfg: cfg}
+	switch {
+	case cfg.MaxPanics == 0:
+		p.maxPanic = 1
+	case cfg.MaxPanics < 0:
+		p.maxPanic = int64(^uint64(0) >> 1)
+	default:
+		p.maxPanic = int64(cfg.MaxPanics)
+	}
+	active.Store(p)
+	return nil
+}
+
+// Disable removes the active plan; sites return to no-ops.
+func Disable() { active.Store(nil) }
+
+// Active reports whether a plan is live.
+func Active() bool { return active.Load() != nil }
+
+// record appends a fired event to the replay log (capped so a pathological
+// plan cannot grow without bound).
+func (p *plan) record(e Event) {
+	p.mu.Lock()
+	if len(p.events) < 1<<12 {
+		p.events = append(p.events, e)
+	}
+	p.mu.Unlock()
+}
+
+// Inject consults the plan at site s and applies the scheduled action:
+// nothing, a delay (runtime.Gosched), or — at panic-capable sites, while
+// the panic budget lasts — panic(Injected{s, hit}). Scheduled panics at
+// non-capable sites or past the budget downgrade to delays.
+func Inject(s Site) {
+	p := active.Load()
+	if p == nil || !p.cfg.enabledSite(s) {
+		return
+	}
+	n := p.hits[s].n.Add(1) - 1
+	a := decide(p.cfg.Seed, s, n, p.cfg.PanicRate, p.cfg.DelayRate)
+	if a == ActNone {
+		return
+	}
+	if a == ActPanic && (!panicCapable(s) || p.panics.Add(1) > p.maxPanic) {
+		a = ActDelay
+	}
+	p.record(Event{Site: s, Hit: n, Action: a})
+	if a == ActPanic {
+		panic(Injected{Site: s, Hit: n})
+	}
+	runtime.Gosched()
+}
+
+// SkipClaim consults the claim-skip schedule at site s: true tells the
+// caller to decline this claim (the forced-steal diversion). Independent
+// of Inject's schedule and counters.
+func SkipClaim(s Site) bool {
+	p := active.Load()
+	if p == nil || p.cfg.SkipRate <= 0 || !p.cfg.enabledSite(s) {
+		return false
+	}
+	n := p.skips[s].n.Add(1) - 1
+	if !decideSkip(p.cfg.Seed, s, n, p.cfg.SkipRate) {
+		return false
+	}
+	p.record(Event{Site: s, Hit: n, Action: ActSkip})
+	return true
+}
+
+// Events returns a copy of the fired-injection log of the active plan
+// (empty when no plan is active). Ordering within the log follows record
+// time; per-(site, hit) identity is what replays.
+func Events() []Event {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	p.mu.Unlock()
+	return out
+}
+
+// PanicsFired reports injected panics since Enable.
+func PanicsFired() int {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	n := int(p.panics.Load())
+	if m := int(p.maxPanic); n > m {
+		n = m // draws past the budget were downgraded, not fired
+	}
+	return n
+}
+
+// Hits reports how often site s was reached since Enable.
+func Hits(s Site) uint64 {
+	p := active.Load()
+	if p == nil || s >= NumSites {
+		return 0
+	}
+	return p.hits[s].n.Load()
+}

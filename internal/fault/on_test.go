@@ -1,0 +1,131 @@
+//go:build ridtfault
+
+package fault
+
+import (
+	"testing"
+)
+
+func TestEnableDisable(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under ridtfault")
+	}
+	if err := Enable(Config{Seed: 3, DelayRate: 1}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	defer Disable()
+	if !Active() {
+		t.Fatal("Active must be true after Enable")
+	}
+	Inject(SchedSteal)
+	if Hits(SchedSteal) != 1 {
+		t.Fatalf("Hits = %d after one Inject", Hits(SchedSteal))
+	}
+	ev := Events()
+	if len(ev) != 1 || ev[0] != (Event{Site: SchedSteal, Hit: 0, Action: ActDelay}) {
+		t.Fatalf("Events = %v, want one delay at sched-steal hit 0", ev)
+	}
+	Disable()
+	if Active() {
+		t.Fatal("Active after Disable")
+	}
+	Inject(SchedSteal) // no plan: no-op
+	if Hits(SchedSteal) != 0 {
+		t.Fatal("counters survived Disable")
+	}
+}
+
+// TestReplaySameSeed is the replay protocol in miniature: two runs with
+// the same seed and the same per-site hit sequence fire the same events.
+func TestReplaySameSeed(t *testing.T) {
+	run := func() []Event {
+		if err := Enable(Config{Seed: 42, DelayRate: 0.25, SkipRate: 0.25}); err != nil {
+			t.Fatalf("Enable: %v", err)
+		}
+		defer Disable()
+		for n := 0; n < 500; n++ {
+			Inject(SchedClaim)
+			SkipClaim(SchedClaim)
+		}
+		return Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no events fired at 25% rates over 500 hits")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPanicBudget(t *testing.T) {
+	if err := Enable(Config{Seed: 9, PanicRate: 1, MaxPanics: 2}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	defer Disable()
+	fired := 0
+	for n := 0; n < 10; n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					inj, ok := r.(Injected)
+					if !ok {
+						t.Fatalf("recovered %v, want fault.Injected", r)
+					}
+					if inj.Site != Type2SubRound {
+						t.Fatalf("injected at %v, want type2-subround", inj.Site)
+					}
+					fired++
+				}
+			}()
+			Inject(Type2SubRound)
+		}()
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d panics, want MaxPanics=2", fired)
+	}
+	if PanicsFired() != 2 {
+		t.Fatalf("PanicsFired = %d, want 2", PanicsFired())
+	}
+}
+
+func TestPanicIncapableSiteDowngrades(t *testing.T) {
+	if err := Enable(Config{Seed: 5, PanicRate: 1, MaxPanics: -1}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	defer Disable()
+	// SchedClaim is not panic-capable: a certain-panic plan must only
+	// delay there.
+	for n := 0; n < 50; n++ {
+		Inject(SchedClaim)
+	}
+	for _, e := range Events() {
+		if e.Action == ActPanic {
+			t.Fatalf("panic fired at non-capable site: %v", e)
+		}
+	}
+	if PanicsFired() != 0 {
+		t.Fatalf("PanicsFired = %d at a non-capable site", PanicsFired())
+	}
+}
+
+func TestSiteMaskScopes(t *testing.T) {
+	if err := Enable(Config{Seed: 11, DelayRate: 1, SiteMask: MaskOf(TableMigrate)}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	defer Disable()
+	Inject(SchedClaim)
+	Inject(TableMigrate)
+	ev := Events()
+	if len(ev) != 1 || ev[0].Site != TableMigrate {
+		t.Fatalf("Events = %v, want exactly one table-migrate delay", ev)
+	}
+	if Hits(SchedClaim) != 0 {
+		t.Fatal("masked-out site still counted a hit")
+	}
+}

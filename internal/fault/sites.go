@@ -1,0 +1,207 @@
+// Package fault is the repository's deterministic fault-injection harness.
+//
+// The robustness suites need to ask "does the scheduler, the round engine,
+// or a hash-table migration stay consistent when a participant is delayed,
+// diverted, or dies at this exact point?" — and they need the answer to be
+// replayable. This package provides named injection points compiled into
+// the scheduler claim/steal path, the hash-table migration loop, and the
+// engine round/phase boundaries, driven by a seeded, deterministic
+// schedule.
+//
+// The package has two builds:
+//
+//   - Default (no build tag): Enabled is the constant false and every
+//     entry point is an empty function. Injection sites are written as
+//     `if fault.Enabled { fault.Inject(...) }`, so the compiler removes
+//     them entirely — the hot paths of the default build are bit-for-bit
+//     the uninstrumented ones, which is what lets the //ridt:noalloc pins
+//     and the benchgate allocation gates keep their meaning.
+//
+//   - `-tags ridtfault`: Enabled is true and Inject/SkipClaim consult the
+//     active plan (see Enable). Decisions are a pure function of
+//     (seed, site, per-site hit counter), so a failing stress run is
+//     replayed by re-running with the same seed; the fired-event log
+//     (Events) records what actually happened for the failure report.
+//
+// See DESIGN.md in this directory for the injection-point catalog, the
+// seed/replay protocol, and the build-tag story.
+package fault
+
+// Site names one injection point. Sites are a closed catalog (see the
+// constants below) so plans can be expressed as bitmasks and decisions
+// stay a pure function of (seed, site, hit).
+type Site uint8
+
+// The injection-point catalog. Each site sits at a quiescent boundary of
+// its subsystem: a fault injected there models a participant being
+// descheduled, diverted, or killed *between* protocol steps, never inside
+// one — so every post-fault state is one the cooperative protocols are
+// specified to handle (see DESIGN.md for why each site is placed where it
+// is, and which actions it supports).
+const (
+	// SchedClaim fires each time a pool participant is about to claim a
+	// batch from its own lane (internal/parallel.participate). Supports
+	// Delay and Skip (a skipped claim diverts the participant to the
+	// steal path: the forced-steal schedule). Panics are not injected
+	// here: a panic outside a loop body would escape the chunk recovery
+	// and kill a pool worker, which the scheduler (by design) does not
+	// survive — loop-body death is injected at the engine sites instead.
+	SchedClaim Site = iota
+	// SchedSteal fires before a steal sweep over the other lanes.
+	// Supports Delay.
+	SchedSteal
+	// TableMigrate fires at the top of each cooperative-migration chunk
+	// claim (internal/hashtable helpMigrate), before the chunk counter is
+	// advanced. Supports Delay and Panic: a panic here models an operation
+	// dying mid-growth; because it fires before the claim, no chunk is
+	// ever stranded claimed-but-unmigrated, and the surviving threads (or
+	// a later Flatten) finish the migration.
+	TableMigrate
+	// DelaunayPhase fires between the phases of a Delaunay engine round
+	// (activation, A, B, emission). Supports Delay and Panic; a panic here
+	// exercises the engine's round rollback.
+	DelaunayPhase
+	// Type2SubRound fires at the top of each RunType2 sub-round. Supports
+	// Delay and Panic.
+	Type2SubRound
+	// Type3Round fires at the top of each RunType3 round. Supports Delay
+	// and Panic.
+	Type3Round
+
+	// NumSites is the number of catalogued sites (not itself a site).
+	NumSites
+)
+
+var siteNames = [NumSites]string{
+	SchedClaim:    "sched-claim",
+	SchedSteal:    "sched-steal",
+	TableMigrate:  "table-migrate",
+	DelaunayPhase: "delaunay-phase",
+	Type2SubRound: "type2-subround",
+	Type3Round:    "type3-round",
+}
+
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return "fault-site-?"
+}
+
+// panicCapable reports whether a site may receive an injected panic; at
+// the remaining sites a scheduled panic is downgraded to a delay (see the
+// catalog above for why).
+func panicCapable(s Site) bool {
+	switch s {
+	case TableMigrate, DelaunayPhase, Type2SubRound, Type3Round:
+		return true
+	}
+	return false
+}
+
+// Action is what the schedule decided for one hit of a site.
+type Action uint8
+
+const (
+	ActNone  Action = iota
+	ActDelay        // runtime.Gosched: the participant loses its turn
+	ActPanic        // panic(Injected{...}): the participant dies here
+	ActSkip         // claim declined: the participant is diverted to stealing
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActDelay:
+		return "delay"
+	case ActPanic:
+		return "panic"
+	case ActSkip:
+		return "skip"
+	}
+	return "action-?"
+}
+
+// Event records one fired (non-none) injection for the replay report.
+type Event struct {
+	Site   Site
+	Hit    uint64 // which hit of the site fired (0-based, per counter)
+	Action Action
+}
+
+// Injected is the value of an injected panic. Harnesses recognize
+// injected deaths by type-asserting the recovered value.
+type Injected struct {
+	Site Site
+	Hit  uint64
+}
+
+func (p Injected) Error() string {
+	return "fault: injected panic at " + p.Site.String()
+}
+
+// Config parameterizes an injection plan. Rates are per-hit probabilities
+// in [0, 1], evaluated deterministically from (Seed, site, hit).
+type Config struct {
+	Seed      uint64  // schedule seed; the whole plan is a pure function of it
+	PanicRate float64 // probability a hit panics (panic-capable sites only)
+	DelayRate float64 // probability a hit yields the scheduler
+	SkipRate  float64 // probability a claim hit is declined (SkipClaim sites)
+	// MaxPanics bounds the injected panics per Enable; once spent, further
+	// scheduled panics downgrade to delays. 0 means 1 (the common
+	// one-death-per-trial harness shape); negative means unlimited.
+	MaxPanics int
+	// SiteMask selects sites (bit i enables Site(i)); 0 enables all.
+	SiteMask uint32
+}
+
+// enabledSite reports whether the config covers s.
+func (c *Config) enabledSite(s Site) bool {
+	return c.SiteMask == 0 || c.SiteMask&(1<<s) != 0
+}
+
+// MaskOf builds a SiteMask covering exactly the given sites.
+func MaskOf(sites ...Site) uint32 {
+	var m uint32
+	for _, s := range sites {
+		m |= 1 << s
+	}
+	return m
+}
+
+// splitmix64 is the SplitMix64 mixer; decisions are drawn from it so the
+// schedule is a pure, platform-independent function of (seed, site, hit).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a draw to [0, 1).
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}
+
+// decide is the pure decision function: the action scheduled for hit n of
+// site s under seed. Exported to the tests via decideFor; both builds
+// compile it so the off build's tests can still assert schedule
+// determinism.
+func decide(seed uint64, s Site, n uint64, panicRate, delayRate float64) Action {
+	u := unitFloat(splitmix64(splitmix64(seed^(uint64(s)+1)*0xA24BAED4963EE407) + n))
+	if u < panicRate {
+		return ActPanic
+	}
+	if u < panicRate+delayRate {
+		return ActDelay
+	}
+	return ActNone
+}
+
+// decideSkip is decide for the claim-skip schedule (an independent draw so
+// skip and delay schedules do not alias).
+func decideSkip(seed uint64, s Site, n uint64, skipRate float64) bool {
+	u := unitFloat(splitmix64(splitmix64(seed^0x5851F42D4C957F2D^(uint64(s)+1)) + n))
+	return u < skipRate
+}

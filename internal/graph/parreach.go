@@ -18,8 +18,20 @@ import (
 // without intra-search parallelism the first round would be fully
 // sequential.
 func ParReachFrom(g *Graph, src int, forward bool, in func(u int) bool) (visited []int32, edgesScanned int64) {
+	visited, edgesScanned, _ = ParReachFromCancel(g, src, forward, in, nil)
+	return visited, edgesScanned
+}
+
+// ParReachFromCancel is ParReachFrom with cooperative cancellation: the
+// token is observed at every frontier-round boundary (and, through
+// BlocksNCancel, at chunk boundaries inside a round's expansion). On
+// cancellation it returns parallel.ErrCanceled together with the visited
+// prefix discovered by the completed frontier rounds — callers that need
+// an all-or-nothing answer must discard it. A nil token is the plain
+// search.
+func ParReachFromCancel(g *Graph, src int, forward bool, in func(u int) bool, c *parallel.Canceler) (visited []int32, edgesScanned int64, err error) {
 	if !in(src) {
-		return nil, 0
+		return nil, 0, canceledErr(c)
 	}
 	if !forward {
 		g.EnsureReverse()
@@ -39,7 +51,7 @@ func ParReachFrom(g *Graph, src int, forward bool, in func(u int) bool) (visited
 		// deterministic block order.
 		nb := parallel.NumBlocks(len(frontier), 8)
 		nexts := make([][]int32, nb)
-		parallel.BlocksN(0, len(frontier), nb, func(bi, lo, hi int) {
+		if err := parallel.BlocksNCancel(0, len(frontier), nb, c, func(bi, lo, hi int) {
 			var local []int32
 			var scanned int64
 			for k := lo; k < hi; k++ {
@@ -57,12 +69,24 @@ func ParReachFrom(g *Graph, src int, forward bool, in func(u int) bool) (visited
 			}
 			nexts[bi] = local
 			edges.Add(scanned)
-		})
+		}); err != nil {
+			// The round expanded an arbitrary subset of its blocks; the
+			// visited prefix still holds only fully discovered rounds.
+			return visited, edges.Load(), err
+		}
 		frontier = frontier[:0]
 		for _, l := range nexts {
 			frontier = append(frontier, l...)
 		}
 		visited = append(visited, frontier...)
 	}
-	return visited, edges.Load()
+	return visited, edges.Load(), canceledErr(c)
+}
+
+// canceledErr mirrors the parallel package's exit contract.
+func canceledErr(c *parallel.Canceler) error {
+	if c.Canceled() {
+		return parallel.ErrCanceled
+	}
+	return nil
 }

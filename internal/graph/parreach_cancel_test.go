@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+func TestParReachFromCancelNilMatchesPlain(t *testing.T) {
+	r := rng.New(41)
+	g := GnmDirected(r, 500, 2000, false)
+	all := func(int) bool { return true }
+	wantV, wantE := ParReachFrom(g, 0, true, all)
+	gotV, gotE, err := ParReachFromCancel(g, 0, true, all, nil)
+	if err != nil {
+		t.Fatalf("nil-token err = %v", err)
+	}
+	if gotE != wantE || len(gotV) != len(wantV) {
+		t.Fatalf("nil token diverges: %d visits/%d edges vs %d/%d",
+			len(gotV), gotE, len(wantV), wantE)
+	}
+	for i := range wantV {
+		if gotV[i] != wantV[i] {
+			t.Fatalf("visit order diverges at %d: %d vs %d", i, gotV[i], wantV[i])
+		}
+	}
+}
+
+// TestParReachFromCancelPrefix cancels from inside the membership predicate
+// after a fixed number of probes: the search must stop with ErrCanceled,
+// and whatever it returns must be a set of genuinely reachable vertices
+// discovered in frontier-round order (src first).
+func TestParReachFromCancelPrefix(t *testing.T) {
+	g := ChainDAG(1 << 12) // one vertex per frontier round: many boundaries
+	var c parallel.Canceler
+	probes := 0
+	in := func(int) bool {
+		probes++
+		if probes == 100 {
+			c.Cancel()
+		}
+		return true
+	}
+	v, _, err := ParReachFromCancel(g, 0, true, in, &c)
+	if !errors.Is(err, parallel.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(v) == 0 || v[0] != 0 {
+		t.Fatalf("canceled search lost its source: %v", v[:min(len(v), 5)])
+	}
+	if len(v) >= 1<<12 {
+		t.Fatalf("canceled search visited everything (%d vertices)", len(v))
+	}
+	for i, u := range v {
+		if int(u) != i {
+			t.Fatalf("chain visit %d is vertex %d; rounds are not prefix-ordered", i, u)
+		}
+	}
+}
+
+func TestParReachFromCancelPreCanceled(t *testing.T) {
+	g := ChainDAG(64)
+	var c parallel.Canceler
+	c.Cancel()
+	v, e, err := ParReachFromCancel(g, 0, true, func(int) bool { return true }, &c)
+	if !errors.Is(err, parallel.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(v) > 1 || e != 0 {
+		t.Fatalf("pre-canceled search expanded rounds: %d visits, %d edges", len(v), e)
+	}
+}

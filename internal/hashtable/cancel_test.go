@@ -1,0 +1,110 @@
+package hashtable
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Cancellation stress for the growable tables: a cancel-aware parallel
+// insert loop is cut short while cooperative migration is in flight, the
+// abandoned table is flattened, and its surviving contents are checked
+// for exact equivalence against an oracle of the writes that actually
+// executed. This is the contract the round engines rely on when a round
+// is canceled mid-growth: every write that ran is present with its final
+// value, no write is duplicated, lost, or corrupted, and the table stays
+// fully usable afterwards.
+
+func intHasher(k int) uint64 { return uint64(k) }
+
+func runCancelGrowthStress(t *testing.T, mk func() Table[int, int]) {
+	const (
+		n       = 1 << 15
+		seedCap = 16 // tiny start: inserts force repeated migrations
+		trials  = 8
+	)
+	for trial := 0; trial < trials; trial++ {
+		h := mk()
+		var c parallel.Canceler
+		var executed sync.Map // oracle: key -> value, recorded by the writes that ran
+		var count atomic.Int64
+		cutoff := int64(n / 4)
+
+		err := parallel.ForGrainCancel(0, n, 64, &c, func(i int) {
+			k := i
+			v := i*3 + trial
+			// Record-then-write: the oracle holds a superset of completed
+			// writes... but a write that landed must match the oracle. To
+			// keep oracle and table atomic w.r.t. cancellation, write the
+			// table first and record after — then the oracle is a subset
+			// and every oracle entry must be in the table.
+			h.Store(k, v)
+			executed.Store(k, v)
+			if count.Add(1) == cutoff {
+				c.Cancel()
+			}
+		})
+		if err == nil {
+			t.Fatalf("trial %d: cancel never observed", trial)
+		}
+
+		// The loop has returned: no mutators remain. Flatten must complete
+		// any abandoned migration and leave a plain table.
+		h.Flatten()
+
+		// Every write that provably completed is present with its value.
+		missing := 0
+		executed.Range(func(k, v any) bool {
+			got, ok := h.Load(k.(int))
+			if !ok {
+				missing++
+				return false
+			}
+			if got != v.(int) {
+				t.Fatalf("trial %d: key %v = %v, oracle says %v", trial, k, got, v)
+			}
+			return true
+		})
+		if missing > 0 {
+			t.Fatalf("trial %d: %d completed writes missing after cancel+flatten", trial, missing)
+		}
+		// And nothing is present that was never written: every surviving
+		// key decodes to the value this trial's writes would have given it.
+		h.Range(func(k, v int) bool {
+			if want := k*3 + trial; v != want {
+				t.Fatalf("trial %d: stray entry %d=%d (want %d)", trial, k, v, want)
+			}
+			return true
+		})
+
+		// The table remains fully usable: finish the workload and verify.
+		for i := 0; i < n; i++ {
+			h.Store(i, i*3+trial)
+		}
+		if got := h.Len(); got != n {
+			t.Fatalf("trial %d: post-cancel refill Len = %d, want %d", trial, got, n)
+		}
+	}
+}
+
+func TestLockFreeCancelDuringGrowth(t *testing.T) {
+	runCancelGrowthStress(t, func() Table[int, int] {
+		return NewLockFree[int, int](16, intHasher)
+	})
+}
+
+func TestLockFreeInlineCancelDuringGrowth(t *testing.T) {
+	runCancelGrowthStress(t, func() Table[int, int] {
+		return NewLockFreeInline[int, int](16, intHasher,
+			func(v int) (uint64, uint64) { return uint64(v), 0 },
+			func(a, _ uint64) int { return int(a) })
+	})
+}
+
+func TestMapCancelDuringGrowth(t *testing.T) {
+	runCancelGrowthStress(t, func() Table[int, int] {
+		return New[int, int](8, 16, intHasher)
+	})
+}

@@ -30,6 +30,11 @@ type Table[K comparable, V any] interface {
 	Len() int
 	Range(f func(k K, v V) bool)
 	Clear()
+	// Flatten drives any in-flight cooperative migration to completion
+	// (phase operation: quiesce mutators first). Cancellation paths call
+	// it after abandoning a round mid-growth to prove the table is
+	// migration-free before reuse; a no-op on tables that never migrate.
+	Flatten()
 }
 
 var (
@@ -194,6 +199,9 @@ func (m *Map[K, V]) Range(f func(k K, v V) bool) {
 		}
 	}
 }
+
+// Flatten is a no-op: the sharded map has no migration to complete.
+func (m *Map[K, V]) Flatten() {}
 
 // Clear removes all entries, retaining shard maps.
 func (m *Map[K, V]) Clear() {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/parallel"
 )
 
@@ -238,11 +239,26 @@ func (h *LockFreeInline[K, V]) grow(t *inTable[K], minCap int) {
 }
 
 func (h *LockFreeInline[K, V]) helpMigrate(t *inTable[K], maxChunks int) {
+	h.helpMigrateCtl(t, maxChunks, true)
+}
+
+// helpMigrateCtl is helpMigrate with the fault site controllable; the
+// nested help from installFrozen passes inject=false because its caller
+// may hold a claimed-but-unfinished chunk of the outer table, and an
+// injected death there would strand that chunk (the fault model only
+// kills participants *between* protocol steps).
+func (h *LockFreeInline[K, V]) helpMigrateCtl(t *inTable[K], maxChunks int, inject bool) {
 	nt := t.next.Load()
 	if nt == nil {
 		return
 	}
 	for done := 0; maxChunks <= 0 || done < maxChunks; done++ {
+		// Pre-claim fault site, as in LockFree.helpMigrate: a panic after
+		// the claim would strand the chunk and hang flatten; before it, the
+		// protocol is untouched.
+		if inject && fault.Enabled {
+			fault.Inject(fault.TableMigrate)
+		}
 		c := t.migClaim.Add(1) - 1
 		if c >= t.nchunks {
 			break
@@ -327,12 +343,12 @@ func (h *LockFreeInline[K, V]) installFrozen(nt *inTable[K], k K, a, b uint64) {
 			return
 		}
 		if descend {
-			h.helpMigrate(nt, 1)
+			h.helpMigrateCtl(nt, 1, false)
 			nt = nt.next.Load()
 			continue
 		}
 		h.grow(nt, 0)
-		h.helpMigrate(nt, 1)
+		h.helpMigrateCtl(nt, 1, false)
 		nt = nt.next.Load()
 	}
 }
@@ -562,8 +578,15 @@ func (h *LockFreeInline[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 	return actual, loaded
 }
 
-// flatten drives any in-flight migration to completion on the parallel
-// pool. Bulk (phase) operations call it first.
+// Flatten drives any in-flight migration to completion. Phase operation:
+// callers must quiesce mutators first. Exported for the same reason as
+// LockFree.Flatten: after an abandoned or faulted round, it proves the
+// table is migration-free and fully usable.
+func (h *LockFreeInline[K, V]) Flatten() {
+	h.flatten()
+}
+
+// flatten is Flatten returning the flat root for internal bulk callers.
 func (h *LockFreeInline[K, V]) flatten() *inTable[K] {
 	for {
 		t := h.cur.Load()

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/parallel"
 )
 
@@ -207,11 +208,28 @@ func (h *LockFree[K, V]) grow(t *lfTable[K, V], minCap int) {
 // helpMigrate claims and migrates up to maxChunks chunks of t (all of them
 // when maxChunks <= 0) and advances the root when t is drained.
 func (h *LockFree[K, V]) helpMigrate(t *lfTable[K, V], maxChunks int) {
+	h.helpMigrateCtl(t, maxChunks, true)
+}
+
+// helpMigrateCtl is helpMigrate with the fault site controllable: the
+// nested help from installFrozen passes inject=false, because its caller
+// is mid-chunk — it holds a claimed-but-unfinished chunk of the outer
+// table, and an injected death there would strand that chunk (the fault
+// model only kills participants *between* protocol steps).
+func (h *LockFree[K, V]) helpMigrateCtl(t *lfTable[K, V], maxChunks int, inject bool) {
 	nt := t.next.Load()
 	if nt == nil {
 		return
 	}
 	for done := 0; maxChunks <= 0 || done < maxChunks; done++ {
+		// The fault site fires BEFORE the chunk claim: an injected panic
+		// after migClaim.Add but before migDone.Add would strand a claimed
+		// chunk no other helper can re-claim, freezing flatten forever.
+		// Before the claim, a panicking helper leaves the protocol exactly
+		// where it was — any other helper finishes the migration.
+		if inject && fault.Enabled {
+			fault.Inject(fault.TableMigrate)
+		}
 		c := t.migClaim.Add(1) - 1
 		if c >= t.nchunks {
 			break
@@ -298,12 +316,12 @@ func (h *LockFree[K, V]) installFrozen(nt *lfTable[K, V], k K, frozen *lfBox[V])
 		if descend {
 			// nt is itself migrating past k's chain: if k never made it
 			// into nt, its frozen value belongs in nt's next table.
-			h.helpMigrate(nt, 1)
+			h.helpMigrateCtl(nt, 1, false)
 			nt = nt.next.Load()
 			continue
 		}
 		h.grow(nt, 0)
-		h.helpMigrate(nt, 1)
+		h.helpMigrateCtl(nt, 1, false)
 		nt = nt.next.Load()
 	}
 }
@@ -559,9 +577,17 @@ func (h *LockFree[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 	return b.v, loaded
 }
 
-// flatten drives any in-flight migration to completion on the parallel
-// pool, so the root table is a plain flat array. Bulk (phase) operations
-// call it first; per-key operations never need it.
+// Flatten drives any in-flight migration to completion, so the root table
+// is a plain flat array. Phase operation: callers must quiesce mutators
+// first. Bulk operations (Len, Range, Clear, ...) call it implicitly;
+// it is exported so cancellation and crash-recovery paths can prove a
+// table is migration-free — and hence fully usable by per-key and bulk
+// operations alike — after a round is abandoned mid-growth.
+func (h *LockFree[K, V]) Flatten() {
+	h.flatten()
+}
+
+// flatten is Flatten returning the flat root for internal bulk callers.
 func (h *LockFree[K, V]) flatten() *lfTable[K, V] {
 	for {
 		t := h.cur.Load()

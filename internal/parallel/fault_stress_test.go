@@ -1,0 +1,101 @@
+//go:build ridtfault
+
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// Scheduler fault stress (ridtfault build): seeded delays and forced-steal
+// diversions at the claim/steal sites must never change WHAT a loop
+// executes — only the interleaving. Every index runs exactly once, with
+// and without cancellation in flight.
+
+func TestSchedulerExactlyOnceUnderFaults(t *testing.T) {
+	withProcs(t, 4)
+	defer fault.Disable()
+	const n = 1 << 16
+	for _, seed := range []uint64{1, 42, 9001} {
+		if err := fault.Enable(fault.Config{
+			Seed:      seed,
+			DelayRate: 0.2,
+			SkipRate:  0.3,
+			SiteMask:  fault.MaskOf(fault.SchedClaim, fault.SchedSteal),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]atomic.Int32, n)
+		ForGrain(0, n, 1, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("seed %d: index %d ran %d times", seed, i, got)
+			}
+		}
+		if fault.Hits(fault.SchedClaim) == 0 {
+			t.Fatalf("seed %d: claim site never reached — instrumentation is dead", seed)
+		}
+	}
+}
+
+// TestForcedStealsPreserveCombines runs the tree-combined reduction under
+// heavy claim diversion: stolen ranges re-enter through install, and the
+// combine tree must still see every element exactly once.
+func TestForcedStealsPreserveCombines(t *testing.T) {
+	withProcs(t, 4)
+	defer fault.Disable()
+	if err := fault.Enable(fault.Config{
+		Seed:     7,
+		SkipRate: 0.5,
+		SiteMask: fault.MaskOf(fault.SchedClaim),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 15
+	xs := make([]int64, n)
+	var want int64
+	for i := range xs {
+		xs[i] = int64(i%97) - 48
+		want += xs[i]
+	}
+	for trial := 0; trial < 4; trial++ {
+		if got := SumFunc(0, n, func(i int) int64 { return xs[i] }); got != want {
+			t.Fatalf("trial %d: sum %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestCancelUnderFaults: the cancellation observation bound and the
+// exactly-once guarantee both survive injected delays and diversions —
+// a diverted participant must not re-run a chunk another worker drained.
+func TestCancelUnderFaults(t *testing.T) {
+	withProcs(t, 4)
+	defer fault.Disable()
+	if err := fault.Enable(fault.Config{
+		Seed:      11,
+		DelayRate: 0.1,
+		SkipRate:  0.3,
+		SiteMask:  fault.MaskOf(fault.SchedClaim, fault.SchedSteal),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 18
+	for trial := 0; trial < 8; trial++ {
+		var c Canceler
+		counts := make([]atomic.Int32, n)
+		var ran atomic.Int64
+		ForGrainCancel(0, n, 64, &c, func(i int) {
+			if counts[i].Add(1) != 1 {
+				t.Errorf("trial %d: index %d ran twice", trial, i)
+			}
+			if ran.Add(1) == int64(trial*500+100) {
+				c.Cancel()
+			}
+		})
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}

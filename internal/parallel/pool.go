@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // This file implements the persistent work-stealing scheduler that the loop
@@ -167,6 +169,7 @@ func (s *rangeSlot) drainAll() int64 {
 // loopTask is one parallel loop in flight on the pool.
 type loopTask struct {
 	body     func(chunk int)
+	cancel   *Canceler // nil for plain loops: Canceled() is then false forever
 	slots    []rangeSlot
 	nextLane atomic.Int64 // lane assignment for arriving helpers
 	pending  atomic.Int64 // chunks distributed but not yet run-or-cancelled
@@ -225,7 +228,7 @@ func (t *loopTask) runChunk(c int) {
 func (t *loopTask) runRange(lo, hi int) {
 	defer t.finish(int64(hi - lo))
 	for c := lo; c < hi; c++ {
-		if t.panicked.Load() {
+		if t.panicked.Load() || t.cancel.Canceled() {
 			return
 		}
 		t.runChunk(c)
@@ -242,6 +245,28 @@ func (t *loopTask) recordPanic(r any) {
 		return
 	}
 	t.panicVal = r
+	var removed int64
+	for i := range t.slots {
+		removed += t.slots[i].drainAll()
+	}
+	if removed > 0 {
+		t.finish(removed)
+	}
+}
+
+// cancelDrain sweeps every lane empty on behalf of a participant that has
+// observed cancellation. It is deliberately re-runnable by EVERY observer
+// (unlike the panic path's once-only record): a thief may have stolen a
+// batch before one observer's sweep and install it back after, so a
+// single sweep can miss re-exposed chunks — if installers then returned
+// without draining, those chunks would strand and done would never close.
+// With every observer draining all lanes before returning, the last
+// participant to touch the task always sees (and drains) whatever was
+// re-exposed; drainAll's CAS removes each chunk exactly once across all
+// concurrent sweepers, so accounting stays exact.
+//
+//ridt:noalloc
+func (t *loopTask) cancelDrain() {
 	var removed int64
 	for i := range t.slots {
 		removed += t.slots[i].drainAll()
@@ -276,8 +301,35 @@ func (t *loopTask) steal(lane int) (lo, hi int, ok bool) {
 //ridt:noalloc
 func (t *loopTask) participate(lane int) {
 	for {
+		// A canceled task is drained, not claimed from. Every observer
+		// drains (see cancelDrain) — returning without draining could
+		// strand chunks a concurrent thief re-exposed after another
+		// observer's sweep.
+		if t.cancel.Canceled() {
+			t.cancelDrain()
+			return
+		}
+		if fault.Enabled {
+			fault.Inject(fault.SchedClaim)
+			if fault.SkipClaim(fault.SchedClaim) {
+				// Forced-steal diversion: exercise the thief path even when
+				// our own lane has work. Falls through to the normal claim
+				// when nothing is stealable, so a diverted participant can
+				// never return while its own lane holds chunks.
+				if lo, hi, ok := t.steal(lane); ok {
+					if t.slots[lane].install(lo, hi) {
+						continue
+					}
+					t.runRange(lo, hi)
+					continue
+				}
+			}
+		}
 		lo, hi, ok := t.slots[lane].takeFront()
 		if !ok {
+			if fault.Enabled {
+				fault.Inject(fault.SchedSteal)
+			}
 			if lo, hi, ok = t.steal(lane); !ok {
 				return
 			}
@@ -388,6 +440,46 @@ func runLoop(nchunks int, body func(chunk int)) {
 		nchunks -= maxRangeChunks
 	}
 	t := newLoopTask(nchunks, body)
+	runTask(t)
+}
+
+// runLoopCancel is runLoop with a cancellation token threaded into the
+// task: participants stop claiming and drain once c cancels. The caller's
+// contract (partial progress, ErrCanceled at exit) lives in the public
+// wrappers; here cancellation only affects how much of the loop runs.
+// Panics still propagate with their original value even when canceled.
+func runLoopCancel(nchunks int, c *Canceler, body func(chunk int)) {
+	if nchunks <= 0 || c.Canceled() {
+		return
+	}
+	if nchunks == 1 || MaxProcs() == 1 {
+		for ch := 0; ch < nchunks; ch++ {
+			if c.Canceled() {
+				return
+			}
+			body(ch)
+		}
+		return
+	}
+	for nchunks > maxRangeChunks {
+		runLoopCancel(maxRangeChunks, c, body)
+		if c.Canceled() {
+			return
+		}
+		off := maxRangeChunks
+		rest := body
+		body = func(ch int) { rest(off + ch) }
+		nchunks -= maxRangeChunks
+	}
+	t := newLoopTask(nchunks, body)
+	t.cancel = c
+	runTask(t)
+}
+
+// runTask publishes t, participates until nothing is claimable, and waits
+// for the last in-flight batch, re-raising the loop's first panic on the
+// caller.
+func runTask(t *loopTask) {
 	sched.submit(t)
 	t.participate(0)
 	sched.remove(t)

@@ -1,0 +1,122 @@
+package scc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+func TestParallelCancelNilMatchesPlain(t *testing.T) {
+	r := rng.New(51)
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + r.Intn(300)
+		g := graph.GnmDirected(r, n, 3*n, false)
+		want, wantSt := Parallel(g)
+		got, gotSt, err := ParallelCancel(g, nil)
+		if err != nil {
+			t.Fatalf("trial %d: nil-token err = %v", trial, err)
+		}
+		if gotSt != wantSt {
+			t.Fatalf("trial %d: stats diverge: %+v vs %+v", trial, gotSt, wantSt)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: label of %d diverges", trial, v)
+			}
+		}
+	}
+}
+
+func TestParallelCancelPreCanceled(t *testing.T) {
+	g := graph.GnmDirected(rng.New(52), 100, 300, false)
+	var c parallel.Canceler
+	c.Cancel()
+	l, st, err := ParallelCancel(g, &c)
+	if !errors.Is(err, parallel.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if l != nil {
+		t.Fatalf("pre-canceled run returned labels")
+	}
+	if st.Searches != 0 {
+		t.Fatalf("pre-canceled run performed %d searches", st.Searches)
+	}
+}
+
+// TestParallelCancelRace cancels at staggered points of real runs. Whatever
+// round the token lands in must be discarded whole — a partial visit set
+// that leaked into a carve or refine would either label a vertex wrongly
+// or split a partition inside an SCC, and the re-run on the same graph
+// would then disagree with Tarjan. The re-run also proves the cancellation
+// left no shared state behind (the algorithm is pure per call).
+func TestParallelCancelRace(t *testing.T) {
+	r := rng.New(53)
+	for trial := 0; trial < 12; trial++ {
+		n := 500 + r.Intn(500)
+		g := graph.GnmDirected(r, n, 4*n, false)
+		want := Tarjan(g)
+		var c parallel.Canceler
+		done := make(chan struct{})
+		go func(d time.Duration) {
+			time.Sleep(d)
+			c.Cancel()
+			close(done)
+		}(time.Duration(trial*40) * time.Microsecond)
+		l, _, err := ParallelCancel(g, &c)
+		<-done
+		if err != nil {
+			if !errors.Is(err, parallel.ErrCanceled) {
+				t.Fatalf("trial %d: err = %v", trial, err)
+			}
+			if l != nil {
+				t.Fatalf("trial %d: canceled run returned labels", trial)
+			}
+		} else if !SamePartition(l, want) {
+			t.Fatalf("trial %d: run that beat the cancel disagrees with Tarjan", trial)
+		}
+		got, _, err := ParallelCancel(g, nil)
+		if err != nil {
+			t.Fatalf("trial %d: re-run err = %v", trial, err)
+		}
+		if !SamePartition(got, want) {
+			t.Fatalf("trial %d: re-run after cancel disagrees with Tarjan", trial)
+		}
+	}
+}
+
+// TestParallelCancelGiantSCC aims the cancel at the hardest round shape:
+// one giant SCC, so the first round is a single pivot running the
+// intra-search parallel reachability over the whole graph (the
+// ParReachFromCancel path). The cancel lands inside that search at most
+// timings; whatever happens, the round discards whole and a re-run
+// matches Tarjan.
+func TestParallelCancelGiantSCC(t *testing.T) {
+	g := graph.CycleChords(rng.New(54), 4000, 2)
+	want := Tarjan(g)
+	for trial := 0; trial < 6; trial++ {
+		var c parallel.Canceler
+		go func(d time.Duration) {
+			time.Sleep(d)
+			c.Cancel()
+		}(time.Duration(trial*25) * time.Microsecond)
+		l, _, err := ParallelCancel(g, &c)
+		if err != nil {
+			if !errors.Is(err, parallel.ErrCanceled) {
+				t.Fatalf("trial %d: err = %v", trial, err)
+			}
+			if l != nil {
+				t.Fatalf("trial %d: canceled run returned labels", trial)
+			}
+		} else if !SamePartition(l, want) {
+			t.Fatalf("trial %d: completed run disagrees with Tarjan", trial)
+		}
+	}
+	got, _, err := ParallelCancel(g, nil)
+	if err != nil || !SamePartition(got, want) {
+		t.Fatalf("re-run after cancels disagrees with Tarjan (err=%v)", err)
+	}
+}
