@@ -1,0 +1,232 @@
+// Command ridtd is the long-lived serve-while-building daemon: it builds
+// Delaunay triangulations round by round with the parallel engine while
+// unbounded reader goroutines run point-location, containment, and
+// edge-adjacency queries against the epoch-published snapshots
+// (delaunay.Live views and face-map snapshots) the whole time.
+//
+// Usage:
+//
+//	ridtd [-n N] [-seed S] [-readers R] [-builds B] [-report D]
+//	      [-procs P] [-timeout D]
+//
+// Each build triangulates a fresh n-point instance to completion; with
+// -builds 0 the daemon rebuilds forever (a serving loop), until -timeout
+// elapses or an interrupt arrives. Shutdown matches ridt's exit-code
+// contract: 0 on a completed run, 2 on flag errors, 3 when canceled by
+// the deadline or a signal (the stats printed are a prefix of the run).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// readerStats is one reader goroutine's query counters: written only by
+// its reader, loaded atomically by progress lines mid-run and summed
+// after the reader exits.
+type readerStats struct {
+	queries atomic.Int64 // Locate calls issued
+	hits    atomic.Int64 // Locate calls that found a final triangle
+	faceQs  atomic.Int64 // face-map Incident queries
+	views   atomic.Int64 // distinct view epochs observed
+	_       [24]byte     // pad to a cache line against false sharing
+}
+
+// run is the testable driver body, mirroring ridt's contract: output to
+// out/errOut, returned exit code, injectable signal feed.
+func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
+	fs := flag.NewFlagSet("ridtd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	n := fs.Int("n", 4096, "points per build")
+	seed := fs.Uint64("seed", 1, "base random seed (build i uses seed+i)")
+	readers := fs.Int("readers", 4, "concurrent reader goroutines")
+	builds := fs.Int("builds", 1, "builds to run (0 = rebuild until canceled)")
+	report := fs.Duration("report", time.Second, "progress-line interval (0 = none)")
+	procs := fs.Int("procs", 0, "worker count (sets GOMAXPROCS; 0 keeps the environment's value)")
+	timeout := fs.Duration("timeout", 0, "cancel the run after this duration and exit 3 (0 = no deadline)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errOut, "ridtd: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+	if *n < 0 || *readers < 0 || *builds < 0 {
+		fmt.Fprintln(errOut, "ridtd: -n, -readers, and -builds must be non-negative")
+		return 2
+	}
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+
+	var canceler parallel.Canceler
+	if *timeout > 0 {
+		tm := time.AfterFunc(*timeout, canceler.Cancel)
+		defer tm.Stop()
+	}
+	if sigs == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		defer signal.Stop(ch)
+		sigs = ch
+	}
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-sigs:
+			canceler.Cancel()
+		case <-watcherDone:
+		}
+	}()
+
+	fmt.Fprintf(out, "ridtd: GOMAXPROCS=%d n=%d readers=%d builds=%d seed=%d\n",
+		runtime.GOMAXPROCS(0), *n, *readers, *builds, *seed)
+
+	var totQ, totHit, totFace, totViews, totRounds, totTris int64
+	completed := 0
+	for b := 0; *builds == 0 || b < *builds; b++ {
+		if canceler.Canceled() {
+			break
+		}
+		q, hit, faceQ, views, rounds, tris, done := serveBuild(out, *seed+uint64(b), b, *n, *readers, *report, &canceler)
+		totQ += q
+		totHit += hit
+		totFace += faceQ
+		totViews += views
+		totRounds += rounds
+		totTris += tris
+		if !done {
+			break
+		}
+		completed++
+	}
+
+	fmt.Fprintf(out, "ridtd: builds=%d rounds=%d tris=%d queries=%d hits=%d faceqs=%d views=%d\n",
+		completed, totRounds, totTris, totQ, totHit, totFace, totViews)
+	if canceler.Canceled() {
+		fmt.Fprintln(errOut, "ridtd: run canceled (deadline or interrupt); stats above are a prefix of the full run")
+		return 3
+	}
+	return 0
+}
+
+// serveBuild triangulates one instance to completion while readers
+// hammer the published views, then reports per-build stats. done=false
+// means the build was cut short by cancellation.
+func serveBuild(out io.Writer, seed uint64, build, n, readers int, report time.Duration,
+	c *parallel.Canceler) (q, hit, faceQ, views, rounds, tris int64, done bool) {
+	pts := geom.Dedup(geom.UniformDisk(rng.New(seed), n))
+	lv := delaunay.NewLive(pts)
+
+	stats := make([]readerStats, readers)
+	var wg sync.WaitGroup
+	stop := &parallel.Canceler{} // readers drain on build completion OR external cancel
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(rs *readerStats, rseed uint64) {
+			defer wg.Done()
+			reader(lv, rs, rseed, stop)
+		}(&stats[r], seed^(uint64(r)*0x9E3779B97F4A7C15+1))
+	}
+
+	var reportC <-chan time.Time
+	if report > 0 {
+		tk := time.NewTicker(report)
+		defer tk.Stop()
+		reportC = tk.C
+	}
+
+	done = true
+	for {
+		more, err := lv.Step(c)
+		if err != nil {
+			done = false // canceled: the engine rolled the round back
+			break
+		}
+		select {
+		case <-reportC:
+			v := lv.View()
+			var rq, rh int64
+			for i := range stats {
+				rq += stats[i].queries.Load()
+				rh += stats[i].hits.Load()
+			}
+			fmt.Fprintf(out, "ridtd: build=%d round=%d tris=%d final=%d queries=%d hits=%d\n",
+				build, v.Round(), v.NumTriangles(), v.NumFinal(), rq, rh)
+		default:
+		}
+		if !more {
+			break
+		}
+	}
+	stop.Cancel()
+	wg.Wait()
+
+	v := lv.View()
+	rounds, tris = int64(v.Round()), int64(v.NumTriangles())
+	for i := range stats {
+		q += stats[i].queries.Load()
+		hit += stats[i].hits.Load()
+		faceQ += stats[i].faceQs.Load()
+		views += stats[i].views.Load()
+	}
+	fmt.Fprintf(out, "ridtd: build=%d done=%v rounds=%d tris=%d final=%d queries=%d hits=%d faceqs=%d views=%d\n",
+		build, done, rounds, tris, v.NumFinal(), q, hit, faceQ, views)
+	return q, hit, faceQ, views, rounds, tris, done
+}
+
+// reader is one query goroutine: it re-reads the latest published view
+// each batch, locates random points in it, and probes each located
+// triangle's first edge in a face-map snapshot taken alongside the view,
+// until stopped. Both paths are the zero-alloc snapshot reads the
+// benchmarks pin; the smoke tests run readers in-process.
+func reader(lv *delaunay.Live, rs *readerStats, seed uint64, stop *parallel.Canceler) {
+	r := rng.New(seed)
+	var lastEpoch uint64
+	for !stop.Canceled() {
+		v, ep := lv.ViewEpoch()
+		if ep != lastEpoch {
+			rs.views.Add(1)
+			lastEpoch = ep
+		}
+		fsnap := lv.Faces()
+		for i := 0; i < 64 && !stop.Canceled(); i++ {
+			// Queries over the slightly padded unit disk: most hit the
+			// finalized region once it grows, some probe the frontier.
+			x := 2.2*r.Float64() - 1.1
+			y := 2.2*r.Float64() - 1.1
+			id, ok := v.Locate(geom.Point{X: x, Y: y})
+			rs.queries.Add(1)
+			if ok {
+				rs.hits.Add(1)
+				cs := v.Corners(id)
+				if _, _, ok := fsnap.Incident(cs[0], cs[1]); ok {
+					rs.faceQs.Add(1)
+				}
+			}
+		}
+		fsnap.Close()
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunCompletes drives a small serve-while-building run to completion
+// and checks the exit code and the summary line.
+func TestRunCompletes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "300", "-builds", "2", "-readers", "2", "-seed", "7", "-report", "0"},
+		&out, &errOut, nil)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "ridtd: builds=2 ") {
+		t.Fatalf("summary line missing or wrong build count:\n%s", s)
+	}
+	if !strings.Contains(s, "build=1 done=true") {
+		t.Fatalf("second build did not complete:\n%s", s)
+	}
+	if errOut.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", errOut.String())
+	}
+}
+
+// TestRunNoReaders exercises the writer-only path (readers=0) and n=0
+// (a build whose initial view is already final).
+func TestRunNoReaders(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-n", "0", "-builds", "1", "-readers", "0", "-report", "0"}, &out, &errOut, nil); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "queries=0") {
+		t.Fatalf("expected zero queries with no readers:\n%s", out.String())
+	}
+}
+
+// TestRunReportLines checks the periodic progress line fires on a run
+// long enough to tick.
+func TestRunReportLines(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "3000", "-builds", "1", "-readers", "1", "-report", "1ms"}, &out, &errOut, nil)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "round=") {
+		t.Fatalf("no progress line in output:\n%s", out.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "notanint"},
+		{"-bogus"},
+		{"positional"},
+		{"-n", "-1"},
+		{"-readers", "-2"},
+		{"-builds", "-1"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut, nil); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut, nil); code != 0 {
+		t.Fatalf("run(-h) = %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-timeout") {
+		t.Fatalf("usage text missing flags:\n%s", errOut.String())
+	}
+}
+
+// TestRunTimeout runs an endless serving loop (-builds 0) under a short
+// deadline and expects the canceled exit code with a prefix note.
+func TestRunTimeout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "2000", "-builds", "0", "-readers", "2", "-report", "0", "-timeout", "50ms"},
+		&out, &errOut, nil)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "canceled") {
+		t.Fatalf("missing cancellation note on stderr: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "ridtd: builds=") {
+		t.Fatalf("summary line should still print on cancellation:\n%s", out.String())
+	}
+}
+
+// TestRunSignal injects an interrupt through the testable signal feed.
+func TestRunSignal(t *testing.T) {
+	sigs := make(chan os.Signal, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		sigs <- syscall.SIGINT
+	}()
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "2000", "-builds", "0", "-readers", "1", "-report", "0"}, &out, &errOut, sigs)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3; stdout:\n%s", code, out.String())
+	}
+}
+
+// TestRunProcs exercises the -procs path.
+func TestRunProcs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-n", "200", "-builds", "1", "-readers", "1", "-procs", "2", "-report", "0"}, &out, &errOut, nil); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "GOMAXPROCS=2") {
+		t.Fatalf("-procs not reflected in banner:\n%s", out.String())
+	}
+}

@@ -67,6 +67,14 @@ const (
 	// Type3Round fires at the top of each RunType3 round. Supports Delay
 	// and Panic.
 	Type3Round
+	// EpochPublish fires between a committed round and the publication of
+	// its snapshot view (delaunay.Live.Step, hashtable AdvanceEpoch).
+	// Supports Delay and Panic: a panic models the publisher dying after
+	// the round committed but before readers could see it — the round's
+	// effects are durable, and the next successful publication covers the
+	// orphaned round, so readers observe a gap in epochs but never an
+	// inconsistent view.
+	EpochPublish
 
 	// NumSites is the number of catalogued sites (not itself a site).
 	NumSites
@@ -79,6 +87,7 @@ var siteNames = [NumSites]string{
 	DelaunayPhase: "delaunay-phase",
 	Type2SubRound: "type2-subround",
 	Type3Round:    "type3-round",
+	EpochPublish:  "epoch-publish",
 }
 
 func (s Site) String() string {
@@ -93,7 +102,7 @@ func (s Site) String() string {
 // catalog above for why).
 func panicCapable(s Site) bool {
 	switch s {
-	case TableMigrate, DelaunayPhase, Type2SubRound, Type3Round:
+	case TableMigrate, DelaunayPhase, Type2SubRound, Type3Round, EpochPublish:
 		return true
 	}
 	return false

@@ -35,6 +35,16 @@ type Table[K comparable, V any] interface {
 	// it after abandoning a round mid-growth to prove the table is
 	// migration-free before reuse; a no-op on tables that never migrate.
 	Flatten()
+	// Epoch returns the table's current publication epoch (see epoch.go).
+	Epoch() uint64
+	// AdvanceEpoch flattens the table and bumps its epoch, reclaiming
+	// superseded slot arrays no open snapshot can reference. Phase
+	// operation; the round engine calls it at each committed boundary.
+	AdvanceEpoch() uint64
+	// Snapshot opens a read-only view that stays torn-free and valid
+	// while mutators keep running; see Snap for the exact guarantees.
+	// O(1) on the lock-free tables, a frozen copy on Map.
+	Snapshot() Snap[K, V]
 }
 
 var (
@@ -50,6 +60,7 @@ type Hasher[K comparable] func(K) uint64
 // Map is a concurrent hash map sharded by key hash. The zero value is not
 // usable; construct with New.
 type Map[K comparable, V any] struct {
+	epochCore
 	shards []shard[K, V]
 	mask   uint64
 	hash   Hasher[K]

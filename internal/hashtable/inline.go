@@ -144,6 +144,8 @@ func newInTable[K comparable](capacity int) *inTable[K] {
 //
 // The zero value is not usable; construct with NewLockFreeInline.
 type LockFreeInline[K comparable, V any] struct {
+	epochCore
+	phaseDebug
 	hash Hasher[K]
 	enc  func(V) (uint64, uint64)
 	dec  func(uint64, uint64) V
@@ -365,8 +367,17 @@ func (h *LockFreeInline[K, V]) completeMigration(t *inTable[K], k K, m uint32, a
 //
 //ridt:noalloc
 func (h *LockFreeInline[K, V]) Load(k K) (V, bool) {
+	return h.loadFrom(h.cur.Load(), k)
+}
+
+// loadFrom is Load starting from a caller-pinned root table; snapshots
+// read through it (see Snapshot). Every value read goes through the
+// validated seqlock read, so a snapshot reader racing a writer storm can
+// spin but never observe torn words.
+//
+//ridt:noalloc
+func (h *LockFreeInline[K, V]) loadFrom(t *inTable[K], k K) (V, bool) {
 	var zero V
-	t := h.cur.Load()
 	hv := h.hashOf(k)
 	for t != nil {
 		sl, descend := inFindRead(t, k, hv)
@@ -447,6 +458,10 @@ func (h *LockFreeInline[K, V]) loadAfterFreeze(t *inTable[K], k K, hv uint64) (V
 //
 //ridt:noalloc
 func (h *LockFreeInline[K, V]) apply(k K, f func(old V, present bool) (V, bool)) {
+	if debugPhase {
+		h.muts.Add(1)
+		defer h.muts.Add(-1)
+	}
 	var zero V
 	t := h.cur.Load()
 	hv := h.hashOf(k)
@@ -505,6 +520,10 @@ func (h *LockFreeInline[K, V]) Store(k K, v V) {
 //
 //ridt:noalloc
 func (h *LockFreeInline[K, V]) Delete(k K) {
+	if debugPhase {
+		h.muts.Add(1)
+		defer h.muts.Add(-1)
+	}
 	t := h.cur.Load()
 	hv := h.hashOf(k)
 	for t != nil {
@@ -583,6 +602,7 @@ func (h *LockFreeInline[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 // LockFree.Flatten: after an abandoned or faulted round, it proves the
 // table is migration-free and fully usable.
 func (h *LockFreeInline[K, V]) Flatten() {
+	h.assertQuiesced("Flatten")
 	h.flatten()
 }
 
@@ -603,6 +623,9 @@ func (h *LockFreeInline[K, V]) flatten() *inTable[K] {
 	}
 }
 
+// advanceRoot moves cur past fully migrated tables, retiring each
+// drained table to the epoch registry: an open snapshot may still be
+// reading its slot array (see epoch.go).
 func (h *LockFreeInline[K, V]) advanceRoot() {
 	for {
 		t := h.cur.Load()
@@ -610,12 +633,23 @@ func (h *LockFreeInline[K, V]) advanceRoot() {
 		if nt == nil || t.migDone.Load() < t.nchunks {
 			return
 		}
-		h.cur.CompareAndSwap(t, nt)
+		if h.cur.CompareAndSwap(t, nt) {
+			h.retire(t)
+		}
 	}
 }
 
 // Len returns the number of live entries. Phase operation.
+//
+// Meta and value words go through the validated seqlock read even though
+// the phase contract says no writer can be in flight: Len shares its
+// sweep discipline with the Snapshot path, which has no such contract,
+// and the quiesced-case cost of sl.read() is the same two meta loads a
+// racing reader would pay (the bug this fixes was a raw meta load that
+// silently relied on the contract — a torn count the moment it was
+// violated).
 func (h *LockFreeInline[K, V]) Len() int {
+	h.assertQuiesced("Len")
 	t := h.flatten()
 	nb := parallel.NumBlocks(len(t.slots), 4*migrateChunk)
 	counts := make([]int64, nb)
@@ -626,7 +660,7 @@ func (h *LockFreeInline[K, V]) Len() int {
 			if sl.state.Load() != slotFull {
 				continue
 			}
-			if m := sl.meta.Load(); m&imHas != 0 && m&imDel == 0 {
+			if m, _, _ := sl.read(); m&imHas != 0 && m&imDel == 0 {
 				n++
 			}
 		}
@@ -636,33 +670,40 @@ func (h *LockFreeInline[K, V]) Len() int {
 }
 
 // Range calls f for every entry until f returns false. Phase operation.
+// Reads are seqlock-validated, as in Len: a racing writer can no longer
+// hand f a value spliced from two different writes.
 func (h *LockFreeInline[K, V]) Range(f func(k K, v V) bool) {
+	h.assertQuiesced("Range")
 	t := h.flatten()
 	for i := range t.slots {
 		sl := &t.slots[i]
 		if sl.state.Load() != slotFull {
 			continue
 		}
-		m := sl.meta.Load()
+		m, a, b := sl.read()
 		if m&imHas == 0 || m&imDel != 0 {
 			continue
 		}
-		if !f(sl.key, h.dec(sl.w0.Load(), sl.w1.Load())) {
+		if !f(sl.key, h.dec(a, b)) {
 			return
 		}
 	}
 }
 
 // Clear removes all entries by installing a fresh minimum-size table.
-// Phase operation.
+// The displaced root is retired, not dropped: open snapshots keep
+// reading the old contents. Phase operation.
 func (h *LockFreeInline[K, V]) Clear() {
-	h.flatten()
+	h.assertQuiesced("Clear")
+	old := h.flatten()
 	h.cur.Store(newInTable[K](0))
+	h.retire(old)
 }
 
 // Reserve grows the table so at least capacity entries fit without a
 // migration. Phase operation.
 func (h *LockFreeInline[K, V]) Reserve(capacity int) {
+	h.assertQuiesced("Reserve")
 	t := h.flatten()
 	need := capacity*4/3 + 1
 	if len(t.slots) >= need {
@@ -670,6 +711,94 @@ func (h *LockFreeInline[K, V]) Reserve(capacity int) {
 	}
 	h.grow(t, need)
 	h.flatten()
+}
+
+// AdvanceEpoch flattens the table (phase operation) and bumps the epoch,
+// reclaiming retired slot arrays no open snapshot can reference; see
+// LockFree.AdvanceEpoch. The Delaunay round engine calls it on the face
+// map at each committed round boundary.
+func (h *LockFreeInline[K, V]) AdvanceEpoch() uint64 {
+	h.assertQuiesced("AdvanceEpoch")
+	if fault.Enabled {
+		fault.Inject(fault.EpochPublish)
+	}
+	h.flatten()
+	return h.advance()
+}
+
+// inSnap is LockFreeInline's snapshot: an O(1) pin of the root table plus
+// an epoch registration keeping retired slot arrays alive (see epoch.go).
+// All reads go through the validated seqlock read, so snapshot readers
+// racing a writer storm spin through in-flight writes but never observe
+// torn words.
+type inSnap[K comparable, V any] struct {
+	snapRef
+	h    *LockFreeInline[K, V]
+	root *inTable[K]
+}
+
+// Snapshot opens a read-only view of the table. O(1): registers the
+// current epoch (before pinning the root — see epochCore.register) and
+// pins the root pointer.
+func (h *LockFreeInline[K, V]) Snapshot() Snap[K, V] {
+	s := &inSnap[K, V]{h: h}
+	s.ec, s.epoch = &h.epochCore, h.register()
+	s.root = h.cur.Load()
+	return s
+}
+
+//ridt:noalloc
+func (s *inSnap[K, V]) Load(k K) (V, bool) {
+	return s.h.loadFrom(s.root, k)
+}
+
+// visit calls f for every entry visible from the pinned root until f
+// returns false; moved slots resolve forward through the chain (same
+// contract as lfSnap.visit).
+func (s *inSnap[K, V]) visit(f func(k K, v V) bool) {
+	t := s.root
+	for i := range t.slots {
+		sl := &t.slots[i]
+		if sl.state.Load() != slotFull {
+			continue
+		}
+		m, a, b := sl.read()
+		if m&imMoved != 0 {
+			hv := s.h.hashOf(sl.key)
+			if v, st := s.h.loadAfterFreeze(t.next.Load(), sl.key, hv); st != loadMiss {
+				if st == loadDeleted {
+					continue
+				}
+				if !f(sl.key, v) {
+					return
+				}
+				continue
+			}
+			if m&imGhost != 0 || m&imHas == 0 || m&imDel != 0 {
+				continue
+			}
+			if !f(sl.key, s.h.dec(a, b)) {
+				return
+			}
+			continue
+		}
+		if m&imHas == 0 || m&imDel != 0 {
+			continue
+		}
+		if !f(sl.key, s.h.dec(a, b)) {
+			return
+		}
+	}
+}
+
+func (s *inSnap[K, V]) Len() int {
+	n := 0
+	s.visit(func(K, V) bool { n++; return true })
+	return n
+}
+
+func (s *inSnap[K, V]) Range(f func(k K, v V) bool) {
+	s.visit(f)
 }
 
 // Codecs for the common small-POD value shapes.

@@ -104,6 +104,8 @@ func newLFTable[K comparable, V any](capacity int) *lfTable[K, V] {
 //
 // The zero value is not usable; construct with NewLockFree.
 type LockFree[K comparable, V any] struct {
+	epochCore
+	phaseDebug
 	hash Hasher[K]
 	cur  atomic.Pointer[lfTable[K, V]]
 }
@@ -330,8 +332,16 @@ func (h *LockFree[K, V]) installFrozen(nt *lfTable[K, V], k K, frozen *lfBox[V])
 //
 //ridt:noalloc
 func (h *LockFree[K, V]) Load(k K) (V, bool) {
+	return h.loadFrom(h.cur.Load(), k)
+}
+
+// loadFrom is Load starting from a caller-pinned root table; snapshots
+// read through it so a pinned (possibly superseded) root resolves moved
+// entries forward through the chain exactly like a live Load.
+//
+//ridt:noalloc
+func (h *LockFree[K, V]) loadFrom(t *lfTable[K, V], k K) (V, bool) {
 	var zero V
-	t := h.cur.Load()
 	hv := h.hashOf(k)
 	for t != nil {
 		sl, descend := findRead(t, k, hv)
@@ -420,6 +430,10 @@ func (h *LockFree[K, V]) loadAfterFreeze(t *lfTable[K, V], k K, hv uint64) (V, l
 // means "leave as is". apply returns the box it installed (or found, when
 // f returned nil).
 func (h *LockFree[K, V]) apply(k K, f func(old V, present bool) *lfBox[V]) *lfBox[V] {
+	if debugPhase {
+		h.muts.Add(1)
+		defer h.muts.Add(-1)
+	}
 	var zero V
 	t := h.cur.Load()
 	hv := h.hashOf(k)
@@ -473,6 +487,10 @@ func (h *LockFree[K, V]) Store(k K, v V) {
 // the next growth migration drops it. Deleting an absent key claims
 // nothing: the probe is read-only.
 func (h *LockFree[K, V]) Delete(k K) {
+	if debugPhase {
+		h.muts.Add(1)
+		defer h.muts.Add(-1)
+	}
 	t := h.cur.Load()
 	hv := h.hashOf(k)
 	for t != nil {
@@ -584,6 +602,7 @@ func (h *LockFree[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
 // table is migration-free — and hence fully usable by per-key and bulk
 // operations alike — after a round is abandoned mid-growth.
 func (h *LockFree[K, V]) Flatten() {
+	h.assertQuiesced("Flatten")
 	h.flatten()
 }
 
@@ -608,7 +627,9 @@ func (h *LockFree[K, V]) flatten() *lfTable[K, V] {
 	}
 }
 
-// advanceRoot moves cur past fully migrated tables.
+// advanceRoot moves cur past fully migrated tables. A drained table is
+// retired to the epoch registry, not dropped: an open snapshot may still
+// be reading its slot array (see epoch.go).
 func (h *LockFree[K, V]) advanceRoot() {
 	for {
 		t := h.cur.Load()
@@ -616,13 +637,16 @@ func (h *LockFree[K, V]) advanceRoot() {
 		if nt == nil || t.migDone.Load() < t.nchunks {
 			return
 		}
-		h.cur.CompareAndSwap(t, nt)
+		if h.cur.CompareAndSwap(t, nt) {
+			h.retire(t)
+		}
 	}
 }
 
 // Len returns the number of live entries. Phase operation: callers must
 // quiesce mutators first. The count runs on the parallel pool.
 func (h *LockFree[K, V]) Len() int {
+	h.assertQuiesced("Len")
 	t := h.flatten()
 	nb := parallel.NumBlocks(len(t.slots), 4*migrateChunk)
 	counts := make([]int64, nb)
@@ -646,6 +670,7 @@ func (h *LockFree[K, V]) Len() int {
 // the iteration itself is sequential so early stop is exact; use RangePar
 // for a parallel sweep.
 func (h *LockFree[K, V]) Range(f func(k K, v V) bool) {
+	h.assertQuiesced("Range")
 	t := h.flatten()
 	for i := range t.slots {
 		sl := &t.slots[i]
@@ -666,6 +691,7 @@ func (h *LockFree[K, V]) Range(f func(k K, v V) bool) {
 // order and with no early stop. Phase operation. f must be safe to call
 // concurrently with itself.
 func (h *LockFree[K, V]) RangePar(f func(k K, v V)) {
+	h.assertQuiesced("RangePar")
 	t := h.flatten()
 	parallel.Blocks(0, len(t.slots), 4*migrateChunk, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -681,15 +707,19 @@ func (h *LockFree[K, V]) RangePar(f func(k K, v V)) {
 }
 
 // Clear removes all entries by installing a fresh minimum-size table.
-// Phase operation.
+// The displaced root is retired, not dropped: open snapshots keep
+// reading the old contents. Phase operation.
 func (h *LockFree[K, V]) Clear() {
-	h.flatten()
+	h.assertQuiesced("Clear")
+	old := h.flatten()
 	h.cur.Store(newLFTable[K, V](0))
+	h.retire(old)
 }
 
 // Reserve grows the table so that at least capacity entries fit without a
 // migration, finishing any in-flight one on the pool. Phase operation.
 func (h *LockFree[K, V]) Reserve(capacity int) {
+	h.assertQuiesced("Reserve")
 	t := h.flatten()
 	need := capacity*4/3 + 1
 	if len(t.slots) >= need {
@@ -697,4 +727,99 @@ func (h *LockFree[K, V]) Reserve(capacity int) {
 	}
 	h.grow(t, need)
 	h.flatten()
+}
+
+// AdvanceEpoch flattens the table (phase operation) and bumps the epoch,
+// reclaiming retired slot arrays no open snapshot can reference. The
+// round engine calls it at each committed round boundary, which is what
+// makes a snapshot taken after it complete: a flattened root holds every
+// key committed so far, so a post-boundary Snap.Range misses nothing.
+func (h *LockFree[K, V]) AdvanceEpoch() uint64 {
+	h.assertQuiesced("AdvanceEpoch")
+	if fault.Enabled {
+		fault.Inject(fault.EpochPublish)
+	}
+	h.flatten()
+	return h.advance()
+}
+
+// lfSnap is LockFree's snapshot: an O(1) pin of the root table plus an
+// epoch registration keeping retired arrays alive (see epoch.go for the
+// guarantees). Box pointers are immutable, so every read through the pin
+// is torn-free by construction; moved entries resolve forward through the
+// chain like a live Load.
+type lfSnap[K comparable, V any] struct {
+	snapRef
+	h    *LockFree[K, V]
+	root *lfTable[K, V]
+}
+
+// Snapshot opens a read-only view of the table. O(1): registers the
+// current epoch (before pinning the root — see epochCore.register) and
+// pins the root pointer.
+func (h *LockFree[K, V]) Snapshot() Snap[K, V] {
+	s := &lfSnap[K, V]{h: h}
+	s.ec, s.epoch = &h.epochCore, h.register()
+	s.root = h.cur.Load()
+	return s
+}
+
+//ridt:noalloc
+func (s *lfSnap[K, V]) Load(k K) (V, bool) {
+	return s.h.loadFrom(s.root, k)
+}
+
+// visit calls f for every entry visible from the pinned root until f
+// returns false. A moved slot's key is resolved forward through the
+// chain; keys that never existed in the pinned root (inserted into a
+// successor after the pin) are not visited — which is exactly the keys
+// newer than the snapshot when the pin was taken at a flattened epoch
+// boundary.
+func (s *lfSnap[K, V]) visit(f func(k K, v V) bool) {
+	t := s.root
+	for i := range t.slots {
+		sl := &t.slots[i]
+		if sl.state.Load() != slotFull {
+			continue
+		}
+		b := sl.val.Load()
+		if b == nil {
+			continue // claimed, value not yet published
+		}
+		if b.moved {
+			hv := s.h.hashOf(sl.key)
+			if v, st := s.h.loadAfterFreeze(t.next.Load(), sl.key, hv); st != loadMiss {
+				if st == loadDeleted {
+					continue
+				}
+				if !f(sl.key, v) {
+					return
+				}
+				continue
+			}
+			if b.ghost || b.del {
+				continue
+			}
+			if !f(sl.key, b.v) {
+				return
+			}
+			continue
+		}
+		if b.del {
+			continue
+		}
+		if !f(sl.key, b.v) {
+			return
+		}
+	}
+}
+
+func (s *lfSnap[K, V]) Len() int {
+	n := 0
+	s.visit(func(K, V) bool { n++; return true })
+	return n
+}
+
+func (s *lfSnap[K, V]) Range(f func(k K, v V) bool) {
+	s.visit(f)
 }

@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEpochPublishCurrent(t *testing.T) {
+	var e Epoch[int]
+	if v, ep := e.Current(); v != nil || ep != 0 {
+		t.Fatalf("empty cell Current = (%v,%d), want (nil,0)", v, ep)
+	}
+	a, b := 10, 20
+	if ep := e.Publish(&a); ep != 1 {
+		t.Fatalf("first Publish epoch = %d, want 1", ep)
+	}
+	if v, ep := e.Current(); v != &a || ep != 1 {
+		t.Fatalf("Current = (%v,%d), want (&a,1)", v, ep)
+	}
+	if ep := e.Publish(&b); ep != 2 {
+		t.Fatalf("second Publish epoch = %d, want 2", ep)
+	}
+	if v, ep := e.Current(); v != &b || ep != 2 {
+		t.Fatalf("Current = (%v,%d), want (&b,2)", v, ep)
+	}
+}
+
+func TestEpochCurrentAllocs(t *testing.T) {
+	var e Epoch[int]
+	v := 7
+	e.Publish(&v)
+	if avg := testing.AllocsPerRun(100, func() { e.Current() }); avg != 0 {
+		t.Fatalf("Current allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestEpochAwait: Await returns already-published values immediately and
+// wakes promptly on the next Publish.
+func TestEpochAwait(t *testing.T) {
+	var e Epoch[int]
+	a := 1
+	e.Publish(&a)
+	if v, ep, err := e.Await(0, nil); err != nil || v != &a || ep != 1 {
+		t.Fatalf("Await(0) = (%v,%d,%v), want immediate (&a,1,nil)", v, ep, err)
+	}
+	done := make(chan struct{})
+	var got atomic.Uint64
+	go func() {
+		defer close(done)
+		_, ep, err := e.Await(1, nil)
+		if err != nil {
+			t.Errorf("Await(1) err = %v", err)
+		}
+		got.Store(ep)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	b := 2
+	e.Publish(&b)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Await did not wake on Publish")
+	}
+	if got.Load() != 2 {
+		t.Fatalf("Await woke at epoch %d, want 2", got.Load())
+	}
+}
+
+// TestEpochAwaitCancel: a canceled token unblocks Await with ErrCanceled
+// within the poll interval.
+func TestEpochAwaitCancel(t *testing.T) {
+	var e Epoch[int]
+	var c Canceler
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.Await(0, &c)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Await err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Await did not observe cancellation")
+	}
+}
+
+// TestEpochManyWaiters: every concurrent waiter sees every epoch in
+// order — the close-and-replace tick broadcast reaches them all, and the
+// +1-per-Publish numbering means a reader chaining Await(after=last)
+// observes the full sequence.
+func TestEpochManyWaiters(t *testing.T) {
+	const waiters, pubs = 8, 50
+	var e Epoch[uint64]
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for last < pubs {
+				v, ep, err := e.Await(last, nil)
+				if err != nil {
+					t.Errorf("Await: %v", err)
+					return
+				}
+				if ep <= last {
+					t.Errorf("Await went backwards: %d after %d", ep, last)
+					return
+				}
+				if *v != ep {
+					t.Errorf("epoch %d carries value %d", ep, *v)
+					return
+				}
+				last = ep
+			}
+		}()
+	}
+	for i := uint64(1); i <= pubs; i++ {
+		v := i
+		if ep := e.Publish(&v); ep != i {
+			t.Fatalf("Publish %d got epoch %d", i, ep)
+		}
+	}
+	wg.Wait()
+}
