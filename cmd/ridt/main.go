@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -93,7 +94,9 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	}
 	if sigs == nil {
 		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
+		// SIGTERM (the service-manager stop signal) gets the same clean
+		// prefix-shutdown as an interactive ^C.
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(ch)
 		sigs = ch
 	}

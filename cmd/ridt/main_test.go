@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -143,5 +144,24 @@ func TestTimeoutZeroIsNoDeadline(t *testing.T) {
 	_, errOut, code := runCapture(t, "shuffle", "-max", "1024", "-timeout", "0")
 	if code != 0 {
 		t.Fatalf("code = %d, want 0; stderr: %s", code, errOut)
+	}
+}
+
+// TestSigtermExitCode: SIGTERM through the signal feed gets the same
+// clean prefix-shutdown as an interrupt — the service-manager stop path.
+func TestSigtermExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs are not -short")
+	}
+	sigs := make(chan os.Signal, 1)
+	sigs <- syscall.SIGTERM
+	var out, errOut bytes.Buffer
+	code := run([]string{"all", "-max", "2048", "-n", "512", "-trials", "1"},
+		&out, &errOut, sigs)
+	if code != 3 {
+		t.Fatalf("code = %d, want 3; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "canceled") {
+		t.Fatalf("missing cancellation notice: %q", errOut.String())
 	}
 }

@@ -8,12 +8,23 @@
 //
 //	ridtd [-n N] [-seed S] [-readers R] [-builds B] [-report D]
 //	      [-procs P] [-timeout D]
+//	      [-checkpoint DIR] [-checkpoint-every N] [-restore]
 //
 // Each build triangulates a fresh n-point instance to completion; with
 // -builds 0 the daemon rebuilds forever (a serving loop), until -timeout
-// elapses or an interrupt arrives. Shutdown matches ridt's exit-code
-// contract: 0 on a completed run, 2 on flag errors, 3 when canceled by
-// the deadline or a signal (the stats printed are a prefix of the run).
+// elapses or an interrupt (SIGINT or SIGTERM) arrives. Shutdown matches
+// ridt's exit-code contract: 0 on a completed run, 2 on flag errors, 3
+// when canceled by the deadline or a signal (the stats printed are a
+// prefix of the run).
+//
+// With -checkpoint the daemon commits a crash-safe checkpoint of the
+// build every -checkpoint-every committed rounds, from the published
+// snapshot, on a background goroutine — the build never stalls for
+// durability. After a crash (or SIGKILL), -restore resumes the
+// interrupted build from the newest valid generation; by the engine's
+// determinism contract the resumed build finishes byte-identical to an
+// uninterrupted one, which the per-build "digest=" line makes checkable
+// across processes.
 package main
 
 import (
@@ -26,8 +37,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/delaunay"
 	"repro/internal/geom"
 	"repro/internal/parallel"
@@ -61,6 +74,9 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	report := fs.Duration("report", time.Second, "progress-line interval (0 = none)")
 	procs := fs.Int("procs", 0, "worker count (sets GOMAXPROCS; 0 keeps the environment's value)")
 	timeout := fs.Duration("timeout", 0, "cancel the run after this duration and exit 3 (0 = no deadline)")
+	ckptDir := fs.String("checkpoint", "", "directory for crash-safe build checkpoints (empty = disabled)")
+	ckptEvery := fs.Int("checkpoint-every", 16, "committed rounds between checkpoints")
+	restore := fs.Bool("restore", false, "resume the interrupted build from the newest valid checkpoint in -checkpoint")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -76,6 +92,14 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintln(errOut, "ridtd: -n, -readers, and -builds must be non-negative")
 		return 2
 	}
+	if *ckptEvery < 1 {
+		fmt.Fprintln(errOut, "ridtd: -checkpoint-every must be at least 1")
+		return 2
+	}
+	if *restore && *ckptDir == "" {
+		fmt.Fprintln(errOut, "ridtd: -restore requires -checkpoint")
+		return 2
+	}
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
 	}
@@ -87,7 +111,10 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	}
 	if sigs == nil {
 		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
+		// SIGTERM is the standard service-manager stop signal; treating it
+		// like an interrupt gives the daemon the same clean prefix-shutdown
+		// under systemd/container stops as under a ^C.
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(ch)
 		sigs = ch
 	}
@@ -101,16 +128,55 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		}
 	}()
 
+	var saver *ckptSaver
+	if *ckptDir != "" {
+		w, err := checkpoint.NewWriter(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(errOut, "ridtd: %v\n", err)
+			return 2
+		}
+		saver = newCkptSaver(w, errOut)
+		defer saver.close()
+	}
+	startBuild := 0
+	var resumed *delaunay.Live
+	if *restore {
+		st, meta, err := checkpoint.Restore(*ckptDir)
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			fmt.Fprintln(out, "ridtd: no checkpoint to restore; starting fresh")
+		case err != nil:
+			fmt.Fprintf(errOut, "ridtd: restore: %v\n", err)
+			return 2
+		default:
+			lv, err := delaunay.ResumeLive(st)
+			if err != nil {
+				fmt.Fprintf(errOut, "ridtd: restore: %v\n", err)
+				return 2
+			}
+			resumed = lv
+			startBuild = int(meta.Build)
+			fmt.Fprintf(out, "ridtd: restored build=%d seed=%d round=%d tris=%d\n",
+				meta.Build, meta.Seed, st.Round, len(st.Tris))
+		}
+	}
+
 	fmt.Fprintf(out, "ridtd: GOMAXPROCS=%d n=%d readers=%d builds=%d seed=%d\n",
 		runtime.GOMAXPROCS(0), *n, *readers, *builds, *seed)
 
 	var totQ, totHit, totFace, totViews, totRounds, totTris int64
 	completed := 0
-	for b := 0; *builds == 0 || b < *builds; b++ {
+	for b := startBuild; *builds == 0 || b < *builds+startBuild; b++ {
 		if canceler.Canceled() {
 			break
 		}
-		q, hit, faceQ, views, rounds, tris, done := serveBuild(out, *seed+uint64(b), b, *n, *readers, *report, &canceler)
+		bseed := *seed + uint64(b)
+		lv := resumed
+		resumed = nil
+		if lv == nil {
+			lv = delaunay.NewLive(geom.Dedup(geom.UniformDisk(rng.New(bseed), *n)))
+		}
+		q, hit, faceQ, views, rounds, tris, done := serveBuild(out, lv, bseed, b, *readers, *report, *ckptEvery, saver, &canceler)
 		totQ += q
 		totHit += hit
 		totFace += faceQ
@@ -132,14 +198,68 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	return 0
 }
 
+// ckptSaver commits checkpoints on a dedicated goroutine so the build's
+// publisher never blocks on disk. The feed has capacity 1 and offers
+// drop rather than wait: a checkpoint is a sample of the monotone build
+// state, so when the saver is still fsyncing the previous one, skipping
+// a boundary costs only restore granularity, never correctness. Save
+// errors (including injected ones) and panics are contained here and
+// logged — durability is best-effort, the build is not.
+type ckptSaver struct {
+	ch      chan ckptReq
+	done    chan struct{}
+	errOut  io.Writer
+	dropped atomic.Int64
+}
+
+type ckptReq struct {
+	st   *delaunay.BuildState
+	meta checkpoint.Meta
+}
+
+func newCkptSaver(w *checkpoint.Writer, errOut io.Writer) *ckptSaver {
+	s := &ckptSaver{ch: make(chan ckptReq, 1), done: make(chan struct{}), errOut: errOut}
+	go func() {
+		defer close(s.done)
+		for req := range s.ch {
+			s.save(w, req)
+		}
+	}()
+	return s
+}
+
+func (s *ckptSaver) save(w *checkpoint.Writer, req ckptReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(s.errOut, "ridtd: checkpoint save panicked: %v\n", r)
+		}
+	}()
+	if _, err := w.Save(req.st, req.meta); err != nil {
+		fmt.Fprintf(s.errOut, "ridtd: checkpoint save failed: %v\n", err)
+	}
+}
+
+// offer hands a captured state to the saver without blocking.
+func (s *ckptSaver) offer(st *delaunay.BuildState, meta checkpoint.Meta) {
+	select {
+	case s.ch <- ckptReq{st: st, meta: meta}:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+func (s *ckptSaver) close() {
+	close(s.ch)
+	<-s.done
+}
+
 // serveBuild triangulates one instance to completion while readers
 // hammer the published views, then reports per-build stats. done=false
-// means the build was cut short by cancellation.
-func serveBuild(out io.Writer, seed uint64, build, n, readers int, report time.Duration,
-	c *parallel.Canceler) (q, hit, faceQ, views, rounds, tris int64, done bool) {
-	pts := geom.Dedup(geom.UniformDisk(rng.New(seed), n))
-	lv := delaunay.NewLive(pts)
-
+// means the build was cut short by cancellation. A non-nil saver gets a
+// state capture every ckptEvery committed rounds, taken at the quiesced
+// boundary between Step calls (the same point the epoch advances).
+func serveBuild(out io.Writer, lv *delaunay.Live, seed uint64, build, readers int, report time.Duration,
+	ckptEvery int, saver *ckptSaver, c *parallel.Canceler) (q, hit, faceQ, views, rounds, tris int64, done bool) {
 	stats := make([]readerStats, readers)
 	var wg sync.WaitGroup
 	stop := &parallel.Canceler{} // readers drain on build completion OR external cancel
@@ -159,11 +279,18 @@ func serveBuild(out io.Writer, seed uint64, build, n, readers int, report time.D
 	}
 
 	done = true
+	lastCkpt := int32(-1)
 	for {
 		more, err := lv.Step(c)
 		if err != nil {
 			done = false // canceled: the engine rolled the round back
 			break
+		}
+		if saver != nil {
+			if r := lv.View().Round(); r != lastCkpt && int(r)%ckptEvery == 0 {
+				lastCkpt = r
+				saver.offer(lv.CaptureState(), checkpoint.Meta{Seed: seed, Build: uint64(build)})
+			}
 		}
 		select {
 		case <-reportC:
@@ -194,6 +321,12 @@ func serveBuild(out io.Writer, seed uint64, build, n, readers int, report time.D
 	}
 	fmt.Fprintf(out, "ridtd: build=%d done=%v rounds=%d tris=%d final=%d queries=%d hits=%d faceqs=%d views=%d\n",
 		build, done, rounds, tris, v.NumFinal(), q, hit, faceQ, views)
+	if done {
+		// The digest commits this process to a specific triangle log: a
+		// resumed-after-crash build must print the same value as the
+		// uninterrupted reference run (the CI crash-recovery job diffs them).
+		fmt.Fprintf(out, "ridtd: build=%d digest=%08x\n", build, checkpoint.DigestMesh(lv.Finish()))
+	}
 	return q, hit, faceQ, views, rounds, tris, done
 }
 

@@ -1,0 +1,51 @@
+package checkpoint
+
+// BenchmarkCheckpoint*: the durability layer's price list, recorded in
+// BENCH_checkpoint.json and gated by the CI bench job. Write and Restore
+// price the background saver's work (off the build's critical path);
+// the synchronous cost a checkpoint adds to the publisher is
+// BenchmarkCheckpointOverhead in internal/delaunay, measured against
+// BenchmarkSnapshotPublish.
+
+import (
+	"os"
+	"testing"
+)
+
+func BenchmarkCheckpointWrite(b *testing.B) {
+	st, _ := midState(b, 77, 1<<13, 6)
+	dir := b.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(Encode(st, Meta{}))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Save(st, Meta{Seed: 77, Build: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointRestore(b *testing.B) {
+	st, _ := midState(b, 77, 1<<13, 6)
+	dir := b.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := w.Save(st, Meta{Seed: 77, Build: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		b.SetBytes(fi.Size())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Restore(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

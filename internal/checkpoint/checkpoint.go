@@ -1,0 +1,298 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/delaunay"
+	"repro/internal/fault"
+)
+
+const (
+	ckptPrefix   = "ckpt-"
+	ckptSuffix   = ".ridt"
+	manifestName = "MANIFEST"
+	manifestTag  = "RIDTMAN1"
+	tmpPrefix    = ".tmp-"
+
+	// keepGenerations bounds the on-disk history. Older generations exist
+	// only as fallbacks past a corrupt newest file; three levels survive a
+	// crash mid-commit plus one bad generation with room to spare.
+	keepGenerations = 3
+)
+
+func ckptName(gen uint64) string { return fmt.Sprintf("%s%016x%s", ckptPrefix, gen, ckptSuffix) }
+
+func parseGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(name[len(ckptPrefix):len(name)-len(ckptSuffix)], 16, 64)
+	return g, err == nil
+}
+
+// Writer commits checkpoint generations to a directory. Generation
+// numbers are monotone across process restarts: a new Writer resumes
+// numbering above everything already on disk, so "newest" is always
+// well-defined by filename alone.
+//
+// A Writer is not safe for concurrent Save calls; the intended topology
+// is one saver goroutine fed snapshots by the build's publisher.
+type Writer struct {
+	dir string
+	gen uint64 // next generation to write
+}
+
+// NewWriter opens (creating if needed) dir for checkpoint commits and
+// removes any temp files a crashed predecessor left behind.
+func NewWriter(dir string) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: scan dir: %w", err)
+	}
+	w := &Writer{dir: dir, gen: 1}
+	for _, ent := range ents {
+		if strings.HasPrefix(ent.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(dir, ent.Name())) // crashed mid-write; never committed
+			continue
+		}
+		if g, ok := parseGen(ent.Name()); ok && g >= w.gen {
+			w.gen = g + 1
+		}
+	}
+	return w, nil
+}
+
+// Dir returns the directory this writer commits to.
+func (w *Writer) Dir() string { return w.dir }
+
+// Save encodes st+meta and commits it as the next generation:
+// write-temp, fsync, rename, fsync-dir, then the manifest by the same
+// protocol. On any error (including injected ones) the temp file is
+// removed and the directory still holds only fully committed
+// generations. Returns the committed file path.
+//
+// Fault sites: CheckpointFrame fires before each frame write,
+// CheckpointCommit before each step of the commit sequence — so the
+// ridtfault suites can force an I/O error or crash at every distinct
+// point of the protocol.
+func (w *Writer) Save(st *delaunay.BuildState, meta Meta) (string, error) {
+	gen := w.gen
+	final := filepath.Join(w.dir, ckptName(gen))
+	tmp := filepath.Join(w.dir, tmpPrefix+ckptName(gen))
+	if err := w.writeTemp(tmp, st, meta); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := commitStep(func() error { return os.Rename(tmp, final) }); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: commit rename: %w", err)
+	}
+	if err := commitStep(func() error { return syncDir(w.dir) }); err != nil {
+		return "", fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	if err := w.writeManifest(gen); err != nil {
+		return "", err
+	}
+	w.gen = gen + 1
+	w.prune(gen)
+	return final, nil
+}
+
+// writeTemp writes and fsyncs the full image to path, frame by frame.
+func (w *Writer) writeTemp(path string, st *delaunay.BuildState, meta Meta) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(preamble()); err != nil {
+		return fmt.Errorf("checkpoint: write preamble: %w", err)
+	}
+	for _, fr := range encodeFrames(st, meta) {
+		if err := fault.InjectErr(fault.CheckpointFrame); err != nil {
+			return fmt.Errorf("checkpoint: write frame: %w", err)
+		}
+		if _, err := f.Write(fr); err != nil {
+			return fmt.Errorf("checkpoint: write frame: %w", err)
+		}
+	}
+	if err := commitStep(f.Sync); err != nil {
+		return fmt.Errorf("checkpoint: fsync temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	return nil
+}
+
+// writeManifest records gen as the newest committed generation, with the
+// same temp/fsync/rename/fsync-dir protocol as the data file. The
+// manifest is advisory — Restore verifies rather than trusts it — so a
+// crash between data commit and manifest commit costs nothing.
+func (w *Writer) writeManifest(gen uint64) error {
+	tmp := filepath.Join(w.dir, tmpPrefix+manifestName)
+	body := fmt.Sprintf("%s %016x\n", manifestTag, gen)
+	err := func() error {
+		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteString(body); err != nil {
+			return err
+		}
+		if err := commitStep(f.Sync); err != nil {
+			return err
+		}
+		return f.Close()
+	}()
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write manifest: %w", err)
+	}
+	if err := commitStep(func() error { return os.Rename(tmp, filepath.Join(w.dir, manifestName)) }); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: commit manifest: %w", err)
+	}
+	if err := commitStep(func() error { return syncDir(w.dir) }); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	return nil
+}
+
+// commitStep runs one step of the commit sequence behind its fault site.
+func commitStep(step func() error) error {
+	if err := fault.InjectErr(fault.CheckpointCommit); err != nil {
+		return err
+	}
+	return step()
+}
+
+// prune removes generations older than the newest keepGenerations.
+// Best-effort: a prune failure never fails a Save.
+func (w *Writer) prune(newest uint64) {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if g, ok := parseGen(ent.Name()); ok && g+keepGenerations <= newest {
+			os.Remove(filepath.Join(w.dir, ent.Name()))
+		}
+	}
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// readManifest returns the generation the manifest records, or false if
+// the manifest is missing or malformed.
+func readManifest(dir string) (uint64, bool) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, false
+	}
+	s := strings.TrimSpace(string(b))
+	rest, ok := strings.CutPrefix(s, manifestTag+" ")
+	if !ok {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(rest, 16, 64)
+	return g, err == nil
+}
+
+// Restore loads the newest fully valid checkpoint from dir: the
+// manifest's generation first (it is a hint, verified like any other),
+// then every on-disk generation newest-first, skipping any file that
+// fails decode or structural validation. It returns ErrNoCheckpoint if
+// the directory holds no checkpoint files at all, and a joined error if
+// every generation present is corrupt.
+func Restore(dir string) (*delaunay.BuildState, Meta, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, Meta{}, ErrNoCheckpoint
+		}
+		return nil, Meta{}, fmt.Errorf("checkpoint: scan dir: %w", err)
+	}
+	var gens []uint64
+	for _, ent := range ents {
+		if g, ok := parseGen(ent.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	if len(gens) == 0 {
+		return nil, Meta{}, ErrNoCheckpoint
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	if mg, ok := readManifest(dir); ok {
+		// Try the manifest's generation first without disturbing the
+		// newest-first fallback order for the rest.
+		for i, g := range gens {
+			if g == mg && i > 0 {
+				copy(gens[1:i+1], gens[:i])
+				gens[0] = mg
+				break
+			}
+		}
+	}
+	var lastErr error
+	for _, g := range gens {
+		path := filepath.Join(dir, ckptName(g))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, meta, err := Decode(data)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", ckptName(g), err)
+			continue
+		}
+		if err := st.Validate(); err != nil {
+			lastErr = fmt.Errorf("%s: %w", ckptName(g), err)
+			continue
+		}
+		return st, meta, nil
+	}
+	return nil, Meta{}, fmt.Errorf("checkpoint: all %d generations invalid: %w", len(gens), lastErr)
+}
+
+// DigestMesh is a CRC32-C over a mesh's full triangle log and work
+// counters: two runs that took the same rounds and produced the same
+// triangles in the same order — the determinism contract — digest
+// equal. Used by the crash-recovery harness to compare a resumed build
+// against an uninterrupted reference across processes.
+func DigestMesh(m *delaunay.Mesh) uint32 {
+	h := crc32.New(castagnoli)
+	var buf []byte
+	buf = le64(buf, uint64(m.N))
+	buf = le64(buf, uint64(len(m.Triangles)))
+	buf = le64(buf, uint64(m.Stats.InCircleTests))
+	buf = le64(buf, uint64(m.Stats.TrianglesCreated))
+	buf = le64(buf, uint64(int64(m.Stats.Rounds)))
+	h.Write(buf)
+	for _, t := range m.Triangles {
+		buf = buf[:0]
+		buf = le32(buf, uint32(t.V[0]))
+		buf = le32(buf, uint32(t.V[1]))
+		buf = le32(buf, uint32(t.V[2]))
+		h.Write(buf)
+	}
+	return h.Sum32()
+}

@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/delaunay"
+)
+
+// Meta is the run identity carried alongside the build state: enough for
+// a restarted process to resume the SAME logical run (the point-set seed
+// and which build of a rebuild loop was interrupted), not merely a run of
+// the same shape.
+type Meta struct {
+	Seed  uint64 // point-generator seed of the interrupted build
+	Build uint64 // build number within the server's rebuild loop
+}
+
+func le32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func le64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// frame assembles one complete frame: type, length, payload, CRC32C over
+// everything before the CRC.
+func frame(t byte, payload []byte) []byte {
+	buf := make([]byte, 0, 5+len(payload)+4)
+	buf = append(buf, t)
+	buf = le32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return le32(buf, crc32Of(buf))
+}
+
+func crc32Of(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// encodeFrames serializes st+meta into the fixed frame sequence. Each
+// element of the result is one complete frame, so a writer can interleave
+// per-frame I/O (and per-frame fault injection) without re-parsing.
+func encodeFrames(st *delaunay.BuildState, meta Meta) [][]byte {
+	frames := make([][]byte, 0, numFrames)
+
+	hdr := make([]byte, 0, hdrLen)
+	hdr = le32(hdr, uint32(st.Round))
+	if st.Done {
+		hdr = append(hdr, 1)
+	} else {
+		hdr = append(hdr, 0)
+	}
+	hdr = le64(hdr, uint64(st.N))
+	hdr = le64(hdr, meta.Seed)
+	hdr = le64(hdr, meta.Build)
+	// Work counters ride in the header: resumed runs must report the same
+	// totals as uninterrupted ones (the equality suites compare Stats).
+	hdr = le64(hdr, uint64(st.Stats.InCircleTests))
+	hdr = le64(hdr, uint64(st.Stats.TrianglesCreated))
+	hdr = le64(hdr, uint64(int64(st.Stats.Rounds)))
+	hdr = le64(hdr, uint64(int64(st.Stats.DepDepth)))
+	hdr = le64(hdr, uint64(st.Pred.Orient2DCalls))
+	hdr = le64(hdr, uint64(st.Pred.Orient2DExact))
+	hdr = le64(hdr, uint64(st.Pred.InCircleCalls))
+	hdr = le64(hdr, uint64(st.Pred.InCircleExact))
+	frames = append(frames, frame(fHeader, hdr))
+
+	pts := make([]byte, 0, 8+16*len(st.Pts))
+	pts = le64(pts, uint64(len(st.Pts)))
+	for _, p := range st.Pts {
+		pts = le64(pts, math.Float64bits(p.X))
+		pts = le64(pts, math.Float64bits(p.Y))
+	}
+	frames = append(frames, frame(fPoints, pts))
+
+	triv := make([]byte, 0, 8+12*len(st.Tris))
+	triv = le64(triv, uint64(len(st.Tris)))
+	for _, t := range st.Tris {
+		triv = le32(triv, uint32(t.V[0]))
+		triv = le32(triv, uint32(t.V[1]))
+		triv = le32(triv, uint32(t.V[2]))
+	}
+	frames = append(frames, frame(fTriV, triv))
+
+	elen := make([]byte, 0, 8+4*len(st.Tris))
+	elen = le64(elen, uint64(len(st.Tris)))
+	totalE := 0
+	for _, t := range st.Tris {
+		elen = le32(elen, uint32(len(t.E)))
+		totalE += len(t.E)
+	}
+	frames = append(frames, frame(fELen, elen))
+
+	eval := make([]byte, 0, 8+4*totalE)
+	eval = le64(eval, uint64(totalE))
+	for _, t := range st.Tris {
+		for _, w := range t.E {
+			eval = le32(eval, uint32(w))
+		}
+	}
+	frames = append(frames, frame(fEVal, eval))
+
+	depth := make([]byte, 0, 8+4*len(st.Depth))
+	depth = le64(depth, uint64(len(st.Depth)))
+	for _, d := range st.Depth {
+		depth = le32(depth, uint32(d))
+	}
+	frames = append(frames, frame(fDepth, depth))
+
+	fin := make([]byte, 0, 8+4*len(st.Final))
+	fin = le64(fin, uint64(len(st.Final)))
+	for _, id := range st.Final {
+		fin = le32(fin, uint32(id))
+	}
+	frames = append(frames, frame(fFinal, fin))
+
+	faces := make([]byte, 0, 8+24*len(st.Faces))
+	faces = le64(faces, uint64(len(st.Faces)))
+	for _, f := range st.Faces {
+		faces = le64(faces, f.Key)
+		faces = le64(faces, f.W0)
+		faces = le64(faces, f.W1)
+	}
+	frames = append(frames, frame(fFaces, faces))
+
+	cand := make([]byte, 0, 8+8*len(st.Cand))
+	cand = le64(cand, uint64(len(st.Cand)))
+	for _, k := range st.Cand {
+		cand = le64(cand, k)
+	}
+	frames = append(frames, frame(fCand, cand))
+
+	foot := le64(make([]byte, 0, 8), uint64(len(st.Tris)))
+	frames = append(frames, frame(fFooter, foot))
+	return frames
+}
+
+// preamble returns the fixed file header.
+func preamble() []byte {
+	b := make([]byte, 0, 16)
+	b = append(b, magic...)
+	b = le32(b, version)
+	b = le32(b, 0) // reserved
+	return b
+}
+
+// Encode serializes a build state and its metadata into a single
+// checkpoint image — the exact bytes Save would commit. Exposed for
+// tests and corpus generation; production writes go through Writer.Save,
+// which adds the atomic-commit protocol.
+func Encode(st *delaunay.BuildState, meta Meta) []byte {
+	out := preamble()
+	for _, fr := range encodeFrames(st, meta) {
+		out = append(out, fr...)
+	}
+	return out
+}

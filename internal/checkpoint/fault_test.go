@@ -1,0 +1,146 @@
+//go:build ridtfault
+
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// Hits per Save at each site, fixed by the commit protocol: one
+// CheckpointFrame per frame of the format, one CheckpointCommit per step
+// of the commit sequence (data fsync, data rename, dir sync, manifest
+// fsync, manifest rename, dir sync). The counts are asserted before use
+// so a protocol change updates this table consciously.
+const (
+	frameHitsPerSave  = numFrames
+	commitHitsPerSave = 6
+)
+
+// TestCheckpointFaultEveryHit forces a failure at EVERY distinct
+// injection point of the save protocol, in both failure modes — a typed
+// I/O error and a crash (panic) — and proves the durability claim each
+// time: after the failure, Restore still yields a fully valid committed
+// generation whose resumed run is byte-equal to the deterministic
+// reference, and a post-restart retry commits normally.
+func TestCheckpointFaultEveryHit(t *testing.T) {
+	st1, _ := midState(t, 31, 400, 2)
+	st2, ref := midState(t, 31, 400, 4)
+	refDigest := DigestMesh(ref)
+
+	for _, tc := range []struct {
+		site fault.Site
+		hits int
+	}{
+		{fault.CheckpointFrame, frameHitsPerSave},
+		{fault.CheckpointCommit, commitHitsPerSave},
+	} {
+		// Assert the hit count before enumerating: a protocol change that
+		// adds or removes an injection point must fail loudly here rather
+		// than silently skip coverage.
+		func() {
+			if err := fault.Enable(fault.Config{Seed: 1, SiteMask: fault.MaskOf(tc.site)}); err != nil {
+				t.Fatalf("Enable: %v", err)
+			}
+			defer fault.Disable()
+			dir := t.TempDir()
+			w, err := NewWriter(dir)
+			if err != nil {
+				t.Fatalf("NewWriter: %v", err)
+			}
+			if _, err := w.Save(st1, Meta{Build: 1}); err != nil {
+				t.Fatalf("Save under zero-rate plan: %v", err)
+			}
+			if got := fault.Hits(tc.site); got != uint64(tc.hits) {
+				t.Fatalf("%v fires %d times per Save, table says %d — update the table and the enumeration",
+					tc.site, got, tc.hits)
+			}
+		}()
+
+		for hit := 0; hit < tc.hits; hit++ {
+			for _, mode := range []string{"err", "panic"} {
+				t.Run(fmt.Sprintf("%v/hit%d/%s", tc.site, hit, mode), func(t *testing.T) {
+					dir := t.TempDir()
+					w, err := NewWriter(dir)
+					if err != nil {
+						t.Fatalf("NewWriter: %v", err)
+					}
+					// A good older generation first, so a failed newer save
+					// always has a committed fallback.
+					if _, err := w.Save(st1, Meta{Build: 1}); err != nil {
+						t.Fatalf("baseline Save: %v", err)
+					}
+
+					cfg := fault.Config{Seed: 7, FirstHit: uint64(hit), SiteMask: fault.MaskOf(tc.site)}
+					if mode == "err" {
+						cfg.ErrRate, cfg.MaxErrs = 1, 1
+					} else {
+						cfg.PanicRate, cfg.MaxPanics = 1, 1
+					}
+					if err := fault.Enable(cfg); err != nil {
+						t.Fatalf("Enable: %v", err)
+					}
+					var saveErr error
+					panicked := false
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								panicked = true
+								if _, ok := r.(fault.Injected); !ok {
+									panic(r)
+								}
+							}
+						}()
+						_, saveErr = w.Save(st2, Meta{Build: 2})
+					}()
+					fault.Disable()
+					switch mode {
+					case "err":
+						if saveErr == nil {
+							t.Fatal("Save succeeded through an injected error")
+						}
+						var ie fault.InjectedError
+						if !errors.As(saveErr, &ie) || ie.Site != tc.site {
+							t.Fatalf("Save error %v does not wrap the injected fault", saveErr)
+						}
+					case "panic":
+						if !panicked {
+							t.Fatal("Save survived an injected panic")
+						}
+					}
+
+					// The durability claim: whatever just happened, the
+					// directory restores to a committed prefix of the one
+					// deterministic run.
+					got, meta, err := Restore(dir)
+					if err != nil {
+						t.Fatalf("Restore after %s at hit %d: %v", mode, hit, err)
+					}
+					if meta.Build != 1 && meta.Build != 2 {
+						t.Fatalf("restored meta %+v is neither generation", meta)
+					}
+					if d := DigestMesh(finishFrom(t, got)); d != refDigest {
+						t.Fatalf("resumed digest %08x, reference %08x", d, refDigest)
+					}
+
+					// Restart: a fresh writer cleans any temp litter and the
+					// retried save commits and wins.
+					w2, err := NewWriter(dir)
+					if err != nil {
+						t.Fatalf("NewWriter restart: %v", err)
+					}
+					if _, err := w2.Save(st2, Meta{Build: 2}); err != nil {
+						t.Fatalf("retry Save: %v", err)
+					}
+					got2, meta2, err := Restore(dir)
+					if err != nil || meta2.Build != 2 || got2.Round != st2.Round {
+						t.Fatalf("post-retry Restore: meta %+v round %v err %v", meta2, got2.Round, err)
+					}
+				})
+			}
+		}
+	}
+}

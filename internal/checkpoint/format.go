@@ -1,0 +1,118 @@
+// Package checkpoint is the durability layer of the serve-while-building
+// story: a versioned, framed on-disk format for a triangulation build
+// state (delaunay.BuildState) plus a crash-safe writer and restorer.
+//
+// # Format
+//
+// A checkpoint file is a fixed preamble followed by a fixed sequence of
+// frames:
+//
+//	preamble  := magic[8] version:u32le reserved:u32le
+//	frame     := type:u8 len:u32le payload[len] crc:u32le
+//
+// The CRC is CRC32-C (Castagnoli) over type || len || payload, so a bit
+// flip anywhere in a frame — including its own header — fails the check.
+// Frames appear in exactly one order (header, points, triangle corners,
+// encroacher lengths, encroacher values, depths, final ids, faces,
+// candidates, footer); the footer frame marks a complete file, so
+// truncation at ANY byte is detected: mid-frame truncation fails the
+// length or CRC check, and truncation at a frame boundary leaves the
+// footer missing.
+//
+// Multi-byte integers are little-endian. Element counts inside a payload
+// are cross-checked against the payload length before any allocation, so
+// a decoder's memory use is bounded by the input's actual size — an
+// attacker-controlled length field cannot force an over-allocation.
+//
+// # Crash safety
+//
+// Save writes to a dot-prefixed temp file in the target directory, fsyncs
+// it, renames it to its final generation-numbered name, and fsyncs the
+// directory; the manifest recording the newest committed generation is
+// updated with the same protocol. A crash at any byte therefore leaves
+// either the previous generation or a fully valid new one — never a
+// half-written file under a committed name. Restore walks generations
+// newest-first and falls back past any that fail full validation.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	// magic identifies a checkpoint file; the trailing digit is the major
+	// format generation (bumped only on incompatible preamble changes).
+	magic = "RIDTCKP1"
+	// version is the frame-layout version within the magic's generation.
+	version = 1
+
+	// maxFramePayload caps a single frame's declared length. Frames are
+	// never close to this in practice; the cap exists so corrupt or
+	// adversarial headers are rejected as structurally invalid rather
+	// than probed against the remaining input.
+	maxFramePayload = 1 << 30
+)
+
+// Frame types, in their required file order.
+const (
+	fHeader   byte = 1 + iota // round, done, n, and the run metadata
+	fPoints                   // input points + 3 bounding corners
+	fTriV                     // triangle corner indices, 3 per triangle
+	fELen                     // per-triangle encroacher-list lengths
+	fEVal                     // concatenated encroacher lists
+	fDepth                    // per-triangle dependence depths
+	fFinal                    // final triangle ids, ascending
+	fFaces                    // face-map epoch snapshot records
+	fCand                     // candidate face keys for the next round
+	fFooter                   // completion marker (echoes the triangle count)
+	numFrames = int(fFooter)
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hdrLen is the fixed header-frame payload size: round u32, done u8,
+// n u64, meta (2×u64), Stats (4×u64), PredicateStats (4×u64).
+const hdrLen = 4 + 1 + 8 + 2*8 + 4*8 + 4*8
+
+// Typed decode errors. Every structurally invalid input maps to one of
+// these (possibly wrapped with position detail) — never a panic.
+var (
+	ErrBadMagic   = errors.New("checkpoint: bad magic")
+	ErrBadVersion = errors.New("checkpoint: unsupported version")
+	ErrTruncated  = errors.New("checkpoint: truncated")
+	ErrFrameCRC   = errors.New("checkpoint: frame CRC mismatch")
+	ErrFrameOrder = errors.New("checkpoint: frame out of order")
+	ErrFrameSize  = errors.New("checkpoint: frame size inconsistent")
+
+	// ErrNoCheckpoint is returned by Restore when the directory holds no
+	// checkpoint files at all — callers treat it as "start fresh".
+	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+)
+
+func frameName(t byte) string {
+	switch t {
+	case fHeader:
+		return "header"
+	case fPoints:
+		return "points"
+	case fTriV:
+		return "triangle-corners"
+	case fELen:
+		return "encroacher-lengths"
+	case fEVal:
+		return "encroacher-values"
+	case fDepth:
+		return "depths"
+	case fFinal:
+		return "final-ids"
+	case fFaces:
+		return "faces"
+	case fCand:
+		return "candidates"
+	case fFooter:
+		return "footer"
+	}
+	return fmt.Sprintf("frame-%d", t)
+}

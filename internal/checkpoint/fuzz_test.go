@@ -1,0 +1,50 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at the decoder. The
+// properties under test:
+//
+//   - Decode never panics: every structurally invalid input maps to one
+//     of the package's typed errors;
+//   - Decode never over-allocates: allocation sizes are derived from the
+//     actual input length, never from an attacker-controlled count alone
+//     (a violation shows up as the fuzz engine OOMing on a small input);
+//   - the format is canonical: any input that decodes successfully must
+//     re-encode to the identical bytes, so there are no two encodings of
+//     one state and no decoder-accepted garbage that Encode couldn't have
+//     produced.
+func FuzzCheckpointDecode(f *testing.F) {
+	st, _ := midState(f, 3, 200, 2)
+	img := Encode(st, Meta{Seed: 3, Build: 1})
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	f.Add(img[:17])
+	flip := append([]byte(nil), img...)
+	flip[len(flip)/3] ^= 0x10
+	f.Add(flip)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(preamble())
+
+	typed := []error{ErrBadMagic, ErrBadVersion, ErrTruncated, ErrFrameCRC, ErrFrameOrder, ErrFrameSize}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, meta, err := Decode(data)
+		if err != nil {
+			for _, want := range typed {
+				if errors.Is(err, want) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		if reenc := Encode(st, meta); !bytes.Equal(reenc, data) {
+			t.Fatalf("non-canonical: %d input bytes decode but re-encode to %d different bytes",
+				len(data), len(reenc))
+		}
+	})
+}

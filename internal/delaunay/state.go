@@ -1,0 +1,224 @@
+package delaunay
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/hashtable"
+)
+
+// Checkpoint capture and restore for a live triangulation.
+//
+// A BuildState is everything the round engine needs to resume insertion
+// from a committed round boundary and produce the byte-identical rest of
+// the run: the published view's data (points, triangle log with
+// encroacher lists, final-id watermark) plus the two pieces of engine
+// state that are NOT derivable from the view alone —
+//
+//   - the candidate face list: the fire set of a round is a pure function
+//     of (face map, E lists) over the candidates, but the fire ORDER — and
+//     with it every later triangle id — follows candidate order, so the
+//     determinism contract requires the exact list, not a reconstruction;
+//   - the face map: which up-to-two alive triangles are incident to each
+//     face of the current (half-built) triangulation. Aliveness is not
+//     recorded in the append-only triangle log (the log keeps ripped
+//     triangles forever, by design), so the map is serialized as the face
+//     table's epoch snapshot rather than recomputed.
+//
+// Why a committed round boundary is a sufficient restore point at all is
+// the monotone-final invariant (view.go, DESIGN.md): committed triangles
+// are immutable, a committed round's effects can never be rolled back, and
+// the per-round final sets grow monotonically toward exactly finish()'s
+// selection. The boundary state therefore IS a prefix of the one
+// deterministic run — resuming from it replays the identical remainder.
+//
+// CaptureState must be called by the publisher between Step calls (the
+// same quiesced point AdvanceEpoch runs at). It copies only what later
+// rounds mutate — the face map, the candidate list, the counters — and
+// shares the append-only storage (points, triangle-log prefix, depths,
+// final ids) with the engine: committed prefixes are immutable, so a
+// serializer may read them from another goroutine while the build runs.
+
+// FaceRec is one face-map entry in captured form: the packed face key and
+// the entry's two inline value words exactly as the lock-free table
+// stores them (incident triangles + dedup stamp). The words are opaque to
+// serializers; ResumeLive decodes and validates them.
+type FaceRec struct {
+	Key    uint64
+	W0, W1 uint64
+}
+
+// BuildState is a resumable snapshot of a triangulation under
+// construction, captured at a committed round boundary. The slice fields
+// referencing engine storage (Pts, Tris, Depth, Final) are shared and
+// must be treated as immutable; Faces and Cand are copies owned by the
+// state.
+type BuildState struct {
+	Round int32
+	Done  bool
+	N     int          // input points (excluding the 3 bounding corners)
+	Pts   []geom.Point // input points then the 3 bounding corners
+	Tris  []Tri        // committed triangle-log prefix
+	Depth []int32      // dependence depth per triangle
+	Final []int32      // ids of final triangles, ascending
+	Faces []FaceRec    // face-map epoch snapshot at the boundary
+	Cand  []uint64     // candidate faces for the next round, in order
+	Stats Stats
+	Pred  geom.PredicateStats
+}
+
+// CaptureState snapshots the live build for checkpointing. It must be
+// called from the publisher goroutine between Step calls — the committed
+// round boundary, where face-map mutators are quiesced. The capture cost
+// is O(faces + candidates); the shared slices make the rest O(1).
+func (lv *Live) CaptureState() *BuildState {
+	e := lv.e
+	s := e.s
+	st := &BuildState{
+		Round: e.round,
+		Done:  lv.done,
+		N:     s.n,
+		Pts:   s.pts[:len(s.pts):len(s.pts)],
+		Tris:  s.tris[:len(s.tris):len(s.tris)],
+		Depth: s.depth[:len(s.depth):len(s.depth)],
+		Final: lv.final[:len(lv.final):len(lv.final)],
+		Cand:  append([]uint64(nil), e.cand...),
+		Stats: s.stats,
+		Pred:  *s.pred,
+	}
+	snap := e.faces.Snapshot()
+	st.Faces = make([]FaceRec, 0, snap.Len())
+	snap.Range(func(k uint64, v faceEntry) bool {
+		w0, w1 := encFace(v)
+		st.Faces = append(st.Faces, FaceRec{Key: k, W0: w0, W1: w1})
+		return true
+	})
+	snap.Close()
+	return st
+}
+
+// validate rejects states that cannot have come from a committed round
+// boundary: every index must land in range before ResumeLive builds an
+// engine around the data. Deep semantic checks (is this face map really
+// the boundary face map?) are the determinism suite's job; validate's is
+// memory safety and fail-fast on corrupt or adversarial input that got
+// past a decoder.
+func (st *BuildState) validate() error { return st.Validate() }
+
+// Validate is the exported form of the structural check, for callers (the
+// checkpoint restorer) that need to probe a decoded state for corruption
+// without paying for a full engine reconstruction attempt.
+func (st *BuildState) Validate() error {
+	if st.N < 0 || st.Round < 0 {
+		return fmt.Errorf("delaunay: state has negative n (%d) or round (%d)", st.N, st.Round)
+	}
+	if len(st.Pts) != st.N+3 {
+		return fmt.Errorf("delaunay: state has %d points, want n+3 = %d", len(st.Pts), st.N+3)
+	}
+	nt := len(st.Tris)
+	if nt < 1 {
+		return fmt.Errorf("delaunay: state has no triangles (the bounding triangle always exists)")
+	}
+	if len(st.Depth) != nt {
+		return fmt.Errorf("delaunay: %d depths for %d triangles", len(st.Depth), nt)
+	}
+	npts := int32(st.N + 3)
+	for i, t := range st.Tris {
+		for _, v := range t.V {
+			if v < 0 || v >= npts {
+				return fmt.Errorf("delaunay: triangle %d corner %d out of range [0,%d)", i, v, npts)
+			}
+		}
+		prev := int32(-1)
+		for _, w := range t.E {
+			if w <= prev || int(w) >= st.N {
+				return fmt.Errorf("delaunay: triangle %d has non-ascending or out-of-range encroacher %d", i, w)
+			}
+			prev = w
+		}
+	}
+	prev := int32(-1)
+	for _, id := range st.Final {
+		if id <= prev || int(id) >= nt {
+			return fmt.Errorf("delaunay: final id %d non-ascending or out of range [0,%d)", id, nt)
+		}
+		if len(st.Tris[id].E) != 0 {
+			return fmt.Errorf("delaunay: final triangle %d has a non-empty encroacher list", id)
+		}
+		prev = id
+	}
+	for _, f := range st.Faces {
+		a, b := faceEnds(f.Key)
+		if a < 0 || b < 0 || a >= npts || b >= npts || a > b {
+			return fmt.Errorf("delaunay: face key %#x has bad endpoints (%d, %d)", f.Key, a, b)
+		}
+		ent := decFace(f.W0, f.W1)
+		if ent.t0 < 0 || int(ent.t0) >= nt {
+			return fmt.Errorf("delaunay: face %#x references triangle %d out of range", f.Key, ent.t0)
+		}
+		if ent.t1 != NoTri && (ent.t1 < 0 || int(ent.t1) >= nt) {
+			return fmt.Errorf("delaunay: face %#x references triangle %d out of range", f.Key, ent.t1)
+		}
+	}
+	for _, k := range st.Cand {
+		a, b := faceEnds(k)
+		if a < 0 || b < 0 || a >= npts || b >= npts || a > b {
+			return fmt.Errorf("delaunay: candidate key %#x has bad endpoints (%d, %d)", k, a, b)
+		}
+	}
+	return nil
+}
+
+// ResumeLive reconstructs a live triangulation from a captured (or
+// decoded) state and publishes the restored view. The resumed build steps
+// from the checkpointed round and — by the determinism contract — emits
+// exactly the triangles the uninterrupted run would have, so the final
+// mesh is identical. The restored publication cell continues the
+// pre-crash epoch numbering (parallel.Epoch.PublishAt), and the face
+// map's table epoch is re-advanced to the restored round so snapshot
+// epochs keep matching publication rounds at the boundaries.
+//
+// ResumeLive copies the state's mutable containers (the triangle log,
+// depths, candidates, final ids) into engine-owned storage; Pts and the
+// per-triangle E arrays are shared with the state, which must not mutate
+// them afterward (a decoded state never does; a captured one is immutable
+// by construction).
+func ResumeLive(st *BuildState) (*Live, error) {
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	s := &store{pts: st.Pts, n: st.N, pred: &geom.PredicateStats{}}
+	s.stats = st.Stats
+	*s.pred = st.Pred
+	resCap := 4*s.n + 16
+	if len(st.Tris) > resCap {
+		resCap = len(st.Tris)
+	}
+	s.tris = append(make([]Tri, 0, resCap), st.Tris...)
+	s.depth = append(make([]int32, 0, resCap), st.Depth...)
+
+	faces := hashtable.NewLockFreeInline[uint64, faceEntry](8*st.N+16,
+		func(k uint64) uint64 { return k }, encFace, decFace)
+	for _, f := range st.Faces {
+		faces.Store(f.Key, decFace(f.W0, f.W1))
+	}
+	for faces.Epoch() < uint64(st.Round) {
+		faces.AdvanceEpoch()
+	}
+
+	e := &roundEngine{
+		s:     s,
+		faces: faces,
+		ar:    newRoundArena(),
+		cand:  append([]uint64(nil), st.Cand...),
+		round: st.Round,
+	}
+	lv := &Live{
+		e:       e,
+		scanned: len(s.tris),
+		final:   append([]int32(nil), st.Final...),
+		done:    st.Done,
+	}
+	lv.pub.PublishAt(buildView(s, e.round, lv.final, lv.done), uint64(e.round)+1)
+	return lv, nil
+}

@@ -1,0 +1,211 @@
+package delaunay
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// liveToEnd steps a Live to completion and returns the final mesh.
+func liveToEnd(t *testing.T, lv *Live) *Mesh {
+	t.Helper()
+	for {
+		more, err := lv.Step(nil)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if !more {
+			return lv.Finish()
+		}
+	}
+}
+
+// TestCaptureResumeEveryBoundary captures the build state at EVERY
+// committed round boundary and proves each one is a sufficient restore
+// point: the resumed run must produce the byte-identical mesh and stats
+// of the uninterrupted reference — the determinism contract that makes a
+// checkpoint a prefix of the one true run rather than a fork.
+func TestCaptureResumeEveryBoundary(t *testing.T) {
+	pts := geom.Dedup(geom.UniformSquare(rng.New(61), 900))
+	want := ParTriangulate(pts)
+
+	lv := NewLive(pts)
+	var states []*BuildState
+	states = append(states, lv.CaptureState()) // round 0: bare bounding triangle
+	for {
+		more, err := lv.Step(nil)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		states = append(states, lv.CaptureState())
+		if !more {
+			break
+		}
+	}
+	meshEqual(t, "uninterrupted live run", lv.Finish(), want)
+
+	for i, st := range states {
+		re, err := ResumeLive(st)
+		if err != nil {
+			t.Fatalf("ResumeLive(round %d): %v", st.Round, err)
+		}
+		if v := re.View(); v.Round() != st.Round {
+			t.Fatalf("restored view at round %d, want %d", v.Round(), st.Round)
+		}
+		meshEqual(t, "resumed from boundary", liveToEnd(t, re), want)
+		_ = i
+	}
+}
+
+// TestCaptureResumeEpochContinuity: the restored publication cell resumes
+// epoch numbering from the checkpointed round (round+1 is an upper bound
+// on any epoch the pre-crash cell reached), so reader Await tokens stay
+// monotone across a restore.
+func TestCaptureResumeEpochContinuity(t *testing.T) {
+	pts := geom.Dedup(geom.UniformSquare(rng.New(8), 500))
+	lv := NewLive(pts)
+	for i := 0; i < 4; i++ {
+		if more, err := lv.Step(nil); err != nil || !more {
+			t.Fatalf("warmup step %d: more=%v err=%v", i, more, err)
+		}
+	}
+	_, preEpoch := lv.ViewEpoch()
+	st := lv.CaptureState()
+
+	re, err := ResumeLive(st)
+	if err != nil {
+		t.Fatalf("ResumeLive: %v", err)
+	}
+	_, ep := re.ViewEpoch()
+	if ep < preEpoch {
+		t.Fatalf("restored epoch %d below pre-crash epoch %d", ep, preEpoch)
+	}
+	if ep != uint64(st.Round)+1 {
+		t.Fatalf("restored epoch %d, want round+1 = %d", ep, st.Round+1)
+	}
+	// Face-map table epochs keep matching rounds at the boundary.
+	fs := re.Faces()
+	if fs.Epoch() != uint64(st.Round) {
+		t.Fatalf("restored face-map epoch %d, want %d", fs.Epoch(), st.Round)
+	}
+	fs.Close()
+	// Stepping after restore publishes strictly increasing epochs.
+	if _, err := re.Step(nil); err != nil {
+		t.Fatalf("Step after restore: %v", err)
+	}
+	if _, ep2 := re.ViewEpoch(); ep2 != ep+1 {
+		t.Fatalf("epoch after restored step = %d, want %d", ep2, ep+1)
+	}
+}
+
+// TestCaptureSharesCommittedStorage: captured states stay valid (and
+// identical) while the build keeps running — the property that lets a
+// background serializer read them without stalling the publisher.
+func TestCaptureSharesCommittedStorage(t *testing.T) {
+	pts := geom.Dedup(geom.UniformSquare(rng.New(19), 700))
+	lv := NewLive(pts)
+	for i := 0; i < 3; i++ {
+		if _, err := lv.Step(nil); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	st := lv.CaptureState()
+	nt, nf := len(st.Tris), len(st.Final)
+	sumE := 0
+	for _, tri := range st.Tris {
+		for _, w := range tri.E {
+			sumE += int(w)
+		}
+	}
+	liveToEnd(t, lv) // build right past the capture
+	if len(st.Tris) != nt || len(st.Final) != nf {
+		t.Fatalf("capture lengths moved under the live build: tris %d->%d final %d->%d",
+			nt, len(st.Tris), nf, len(st.Final))
+	}
+	sumE2 := 0
+	for _, tri := range st.Tris {
+		for _, w := range tri.E {
+			sumE2 += int(w)
+		}
+	}
+	if sumE2 != sumE {
+		t.Fatal("captured encroacher contents changed while the build continued")
+	}
+	re, err := ResumeLive(st)
+	if err != nil {
+		t.Fatalf("ResumeLive after build finished: %v", err)
+	}
+	meshEqual(t, "resume from mid-build capture of a finished engine", liveToEnd(t, re), ParTriangulate(pts))
+}
+
+// TestResumeRejectsCorruptState: every index class validate guards must
+// reject a mutated state with an error, never a panic downstream.
+func TestResumeRejectsCorruptState(t *testing.T) {
+	pts := geom.Dedup(geom.UniformSquare(rng.New(5), 300))
+	lv := NewLive(pts)
+	var base *BuildState
+	for {
+		if more, err := lv.Step(nil); err != nil || !more {
+			t.Fatalf("build ended before two finals appeared: more=%v err=%v", more, err)
+		}
+		if base = lv.CaptureState(); len(base.Final) >= 2 {
+			break
+		}
+	}
+	if err := base.validate(); err != nil {
+		t.Fatalf("genuine capture failed validation: %v", err)
+	}
+
+	// own deep-copies the parts each corruption mutates.
+	own := func() *BuildState {
+		st := *base
+		st.Tris = append([]Tri(nil), base.Tris...)
+		st.Depth = append([]int32(nil), base.Depth...)
+		st.Final = append([]int32(nil), base.Final...)
+		st.Faces = append([]FaceRec(nil), base.Faces...)
+		st.Cand = append([]uint64(nil), base.Cand...)
+		return &st
+	}
+	for name, corrupt := range map[string]func(*BuildState){
+		"negative round":   func(st *BuildState) { st.Round = -1 },
+		"points truncated": func(st *BuildState) { st.Pts = st.Pts[:len(st.Pts)-1] },
+		"no triangles":     func(st *BuildState) { st.Tris, st.Depth = nil, nil },
+		"depth mismatch":   func(st *BuildState) { st.Depth = st.Depth[:len(st.Depth)-1] },
+		"corner out of range": func(st *BuildState) {
+			st.Tris[0].V[1] = int32(st.N + 3)
+		},
+		"encroacher out of range": func(st *BuildState) {
+			st.Tris[len(st.Tris)-1].E = []int32{int32(st.N)}
+		},
+		"final descending": func(st *BuildState) {
+			st.Final[0], st.Final[1] = st.Final[1], st.Final[0]
+		},
+		"final not final": func(st *BuildState) {
+			for i, tri := range st.Tris {
+				if len(tri.E) > 0 {
+					st.Final = append([]int32(nil), int32(i))
+					return
+				}
+			}
+			t.Fatal("no non-final triangle in a mid-build capture")
+		},
+		"face triangle out of range": func(st *BuildState) {
+			st.Faces[0].W0 = uint64(uint32(int32(len(st.Tris)))) << 32
+		},
+		"face endpoint out of range": func(st *BuildState) {
+			st.Faces[0].Key = uint64(uint32(st.N+5))<<32 | uint64(uint32(st.N+6))
+		},
+		"candidate endpoint out of range": func(st *BuildState) {
+			st.Cand = append(st.Cand, uint64(uint32(st.N+7))<<32|uint64(uint32(st.N+7)))
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			st := own()
+			corrupt(st)
+			if _, err := ResumeLive(st); err == nil {
+				t.Error("ResumeLive accepted a corrupt state")
+			}
+		})
+	}
+}

@@ -26,6 +26,10 @@ func Active() bool { return false }
 // constant-false Enabled guard at every site).
 func Inject(Site) {}
 
+// InjectErr never fails in the default build (and is unreachable behind
+// the constant-false Enabled guard at every site).
+func InjectErr(Site) error { return nil }
+
 // SkipClaim never diverts a claim in the default build.
 func SkipClaim(Site) bool { return false }
 
@@ -34,6 +38,9 @@ func Events() []Event { return nil }
 
 // PanicsFired reports injected panics since Enable; always 0 here.
 func PanicsFired() int { return 0 }
+
+// ErrsFired reports injected errors since Enable; always 0 here.
+func ErrsFired() int { return 0 }
 
 // Hits reports how often a site was reached since Enable; always 0 here.
 func Hits(Site) uint64 { return 0 }

@@ -21,9 +21,11 @@ const Enabled = true
 type plan struct {
 	cfg      Config
 	maxPanic int64
+	maxErr   int64
 	hits     [NumSites]padCounter
 	skips    [NumSites]padCounter
 	panics   atomic.Int64
+	errs     atomic.Int64
 
 	mu     sync.Mutex
 	events []Event
@@ -42,16 +44,22 @@ var active atomic.Pointer[plan]
 // resets all counters and the event log. Returns nil under ridtfault.
 func Enable(cfg Config) error {
 	p := &plan{cfg: cfg}
-	switch {
-	case cfg.MaxPanics == 0:
-		p.maxPanic = 1
-	case cfg.MaxPanics < 0:
-		p.maxPanic = int64(^uint64(0) >> 1)
-	default:
-		p.maxPanic = int64(cfg.MaxPanics)
-	}
+	p.maxPanic = budgetOf(cfg.MaxPanics)
+	p.maxErr = budgetOf(cfg.MaxErrs)
 	active.Store(p)
 	return nil
+}
+
+// budgetOf maps a Config budget field to its effective bound: 0 means 1
+// (the one-fault-per-trial harness shape), negative means unlimited.
+func budgetOf(n int) int64 {
+	switch {
+	case n == 0:
+		return 1
+	case n < 0:
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(n)
 }
 
 // Disable removes the active plan; sites return to no-ops.
@@ -73,18 +81,23 @@ func (p *plan) record(e Event) {
 // Inject consults the plan at site s and applies the scheduled action:
 // nothing, a delay (runtime.Gosched), or — at panic-capable sites, while
 // the panic budget lasts — panic(Injected{s, hit}). Scheduled panics at
-// non-capable sites or past the budget downgrade to delays.
+// non-capable sites or past the budget downgrade to delays, as do
+// scheduled errors (Inject has no way to return one; error-aware call
+// sites use InjectErr, which shares this schedule hit for hit).
 func Inject(s Site) {
 	p := active.Load()
 	if p == nil || !p.cfg.enabledSite(s) {
 		return
 	}
 	n := p.hits[s].n.Add(1) - 1
-	a := decide(p.cfg.Seed, s, n, p.cfg.PanicRate, p.cfg.DelayRate)
+	if n < p.cfg.FirstHit {
+		return
+	}
+	a := decide(p.cfg.Seed, s, n, p.cfg.PanicRate, p.cfg.ErrRate, p.cfg.DelayRate)
 	if a == ActNone {
 		return
 	}
-	if a == ActPanic && (!panicCapable(s) || p.panics.Add(1) > p.maxPanic) {
+	if a == ActErr || (a == ActPanic && (!panicCapable(s) || p.panics.Add(1) > p.maxPanic)) {
 		a = ActDelay
 	}
 	p.record(Event{Site: s, Hit: n, Action: a})
@@ -92,6 +105,41 @@ func Inject(s Site) {
 		panic(Injected{Site: s, Hit: n})
 	}
 	runtime.Gosched()
+}
+
+// InjectErr is Inject for sites whose callers can surface a failure as an
+// error instead of a death: a scheduled ActErr returns InjectedError (and
+// the caller abandons the guarded operation the way it would a failed
+// write); panics and delays behave exactly as in Inject. Scheduled errors
+// past the error budget downgrade to delays.
+func InjectErr(s Site) error {
+	p := active.Load()
+	if p == nil || !p.cfg.enabledSite(s) {
+		return nil
+	}
+	n := p.hits[s].n.Add(1) - 1
+	if n < p.cfg.FirstHit {
+		return nil
+	}
+	a := decide(p.cfg.Seed, s, n, p.cfg.PanicRate, p.cfg.ErrRate, p.cfg.DelayRate)
+	if a == ActNone {
+		return nil
+	}
+	if a == ActPanic && (!panicCapable(s) || p.panics.Add(1) > p.maxPanic) {
+		a = ActDelay
+	}
+	if a == ActErr && p.errs.Add(1) > p.maxErr {
+		a = ActDelay
+	}
+	p.record(Event{Site: s, Hit: n, Action: a})
+	switch a {
+	case ActPanic:
+		panic(Injected{Site: s, Hit: n})
+	case ActErr:
+		return InjectedError{Site: s, Hit: n}
+	}
+	runtime.Gosched()
+	return nil
 }
 
 // SkipClaim consults the claim-skip schedule at site s: true tells the
@@ -133,6 +181,19 @@ func PanicsFired() int {
 	}
 	n := int(p.panics.Load())
 	if m := int(p.maxPanic); n > m {
+		n = m // draws past the budget were downgraded, not fired
+	}
+	return n
+}
+
+// ErrsFired reports injected errors since Enable.
+func ErrsFired() int {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	n := int(p.errs.Load())
+	if m := int(p.maxErr); n > m {
 		n = m // draws past the budget were downgraded, not fired
 	}
 	return n

@@ -114,6 +114,74 @@ func TestPanicIncapableSiteDowngrades(t *testing.T) {
 	}
 }
 
+// TestInjectErrBudget: a certain-error plan fires exactly MaxErrs typed
+// errors, then downgrades to delays; Inject (no error return path) never
+// surfaces ActErr at all.
+func TestInjectErrBudget(t *testing.T) {
+	if err := Enable(Config{Seed: 3, ErrRate: 1, MaxErrs: 2}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	defer Disable()
+	fired := 0
+	for n := 0; n < 10; n++ {
+		if err := InjectErr(CheckpointFrame); err != nil {
+			var ie InjectedError
+			if !errorsAs(err, &ie) {
+				t.Fatalf("InjectErr returned %v, want fault.InjectedError", err)
+			}
+			if ie.Site != CheckpointFrame {
+				t.Fatalf("injected at %v, want checkpoint-frame", ie.Site)
+			}
+			fired++
+		}
+	}
+	if fired != 2 || ErrsFired() != 2 {
+		t.Fatalf("fired %d errors (ErrsFired %d), want MaxErrs=2", fired, ErrsFired())
+	}
+	// The same schedule through Inject must downgrade every ActErr draw.
+	if err := Enable(Config{Seed: 3, ErrRate: 1, MaxErrs: -1}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	for n := 0; n < 10; n++ {
+		Inject(CheckpointFrame)
+	}
+	for _, e := range Events() {
+		if e.Action == ActErr {
+			t.Fatalf("Inject surfaced ActErr: %v", e)
+		}
+	}
+}
+
+// errorsAs avoids importing errors just for the assertion above.
+func errorsAs(err error, target *InjectedError) bool {
+	ie, ok := err.(InjectedError)
+	if ok {
+		*target = ie
+	}
+	return ok
+}
+
+// TestFirstHitTargets: FirstHit + unit rate + budget 1 injects at exactly
+// one chosen hit — the enumerate-every-injection-point harness shape the
+// checkpoint suites rely on.
+func TestFirstHitTargets(t *testing.T) {
+	for _, target := range []uint64{0, 1, 5, 9} {
+		if err := Enable(Config{Seed: 8, ErrRate: 1, MaxErrs: 1, FirstHit: target}); err != nil {
+			t.Fatalf("Enable: %v", err)
+		}
+		var hits []uint64
+		for n := 0; n < 12; n++ {
+			if err := InjectErr(CheckpointCommit); err != nil {
+				hits = append(hits, uint64(n))
+			}
+		}
+		Disable()
+		if len(hits) != 1 || hits[0] != target {
+			t.Fatalf("FirstHit=%d fired at hits %v, want exactly [%d]", target, hits, target)
+		}
+	}
+}
+
 func TestSiteMaskScopes(t *testing.T) {
 	if err := Enable(Config{Seed: 11, DelayRate: 1, SiteMask: MaskOf(TableMigrate)}); err != nil {
 		t.Fatalf("Enable: %v", err)

@@ -75,19 +75,34 @@ const (
 	// orphaned round, so readers observe a gap in epochs but never an
 	// inconsistent view.
 	EpochPublish
+	// CheckpointFrame fires before each frame write of a checkpoint save
+	// (internal/checkpoint.Writer.Save). Supports Delay, Panic, and Err:
+	// a panic models the process dying with a partial temp file on disk
+	// (the atomic-rename commit has not happened, so the previous
+	// generation is untouched); an injected error models a failed disk
+	// write the saver must surface and abandon the attempt on.
+	CheckpointFrame
+	// CheckpointCommit fires at each step of a checkpoint's commit
+	// sequence (fsync file, rename into place, fsync directory, manifest
+	// update). Supports Delay, Panic, and Err: a death or error at any
+	// commit step leaves either the previous generation or a fully valid
+	// new one — never a torn file under the committed name.
+	CheckpointCommit
 
 	// NumSites is the number of catalogued sites (not itself a site).
 	NumSites
 )
 
 var siteNames = [NumSites]string{
-	SchedClaim:    "sched-claim",
-	SchedSteal:    "sched-steal",
-	TableMigrate:  "table-migrate",
-	DelaunayPhase: "delaunay-phase",
-	Type2SubRound: "type2-subround",
-	Type3Round:    "type3-round",
-	EpochPublish:  "epoch-publish",
+	SchedClaim:       "sched-claim",
+	SchedSteal:       "sched-steal",
+	TableMigrate:     "table-migrate",
+	DelaunayPhase:    "delaunay-phase",
+	Type2SubRound:    "type2-subround",
+	Type3Round:       "type3-round",
+	EpochPublish:     "epoch-publish",
+	CheckpointFrame:  "checkpoint-frame",
+	CheckpointCommit: "checkpoint-commit",
 }
 
 func (s Site) String() string {
@@ -102,7 +117,8 @@ func (s Site) String() string {
 // catalog above for why).
 func panicCapable(s Site) bool {
 	switch s {
-	case TableMigrate, DelaunayPhase, Type2SubRound, Type3Round, EpochPublish:
+	case TableMigrate, DelaunayPhase, Type2SubRound, Type3Round, EpochPublish,
+		CheckpointFrame, CheckpointCommit:
 		return true
 	}
 	return false
@@ -116,6 +132,7 @@ const (
 	ActDelay        // runtime.Gosched: the participant loses its turn
 	ActPanic        // panic(Injected{...}): the participant dies here
 	ActSkip         // claim declined: the participant is diverted to stealing
+	ActErr          // InjectErr returns InjectedError: a failed I/O the caller must handle
 )
 
 func (a Action) String() string {
@@ -128,6 +145,8 @@ func (a Action) String() string {
 		return "panic"
 	case ActSkip:
 		return "skip"
+	case ActErr:
+		return "err"
 	}
 	return "action-?"
 }
@@ -150,17 +169,42 @@ func (p Injected) Error() string {
 	return "fault: injected panic at " + p.Site.String()
 }
 
+// InjectedError is the typed error InjectErr returns on a scheduled
+// ActErr: a deterministic stand-in for a failed I/O operation (a write
+// that returned an error rather than killing the process). Callers
+// recognize injected failures with errors.As, exactly as harnesses
+// recognize Injected panics.
+type InjectedError struct {
+	Site Site
+	Hit  uint64
+}
+
+func (e InjectedError) Error() string {
+	return "fault: injected error at " + e.Site.String()
+}
+
 // Config parameterizes an injection plan. Rates are per-hit probabilities
 // in [0, 1], evaluated deterministically from (Seed, site, hit).
 type Config struct {
 	Seed      uint64  // schedule seed; the whole plan is a pure function of it
 	PanicRate float64 // probability a hit panics (panic-capable sites only)
+	ErrRate   float64 // probability an InjectErr hit fails (error-returning sites)
 	DelayRate float64 // probability a hit yields the scheduler
 	SkipRate  float64 // probability a claim hit is declined (SkipClaim sites)
 	// MaxPanics bounds the injected panics per Enable; once spent, further
 	// scheduled panics downgrade to delays. 0 means 1 (the common
 	// one-death-per-trial harness shape); negative means unlimited.
 	MaxPanics int
+	// MaxErrs bounds the injected errors per Enable, mirroring MaxPanics:
+	// 0 means 1, negative means unlimited; past the budget a scheduled
+	// error downgrades to a delay.
+	MaxErrs int
+	// FirstHit arms the Inject/InjectErr schedules only from that hit of
+	// each site onward: hits below it draw nothing (the counters still
+	// advance). With a unit rate and a budget of 1 this targets a fault at
+	// exactly one chosen hit — the enumerate-every-injection-point harness
+	// shape. The claim-skip schedule is independent and not gated.
+	FirstHit uint64
 	// SiteMask selects sites (bit i enables Site(i)); 0 enables all.
 	SiteMask uint32
 }
@@ -194,15 +238,20 @@ func unitFloat(x uint64) float64 {
 }
 
 // decide is the pure decision function: the action scheduled for hit n of
-// site s under seed. Exported to the tests via decideFor; both builds
-// compile it so the off build's tests can still assert schedule
-// determinism.
-func decide(seed uint64, s Site, n uint64, panicRate, delayRate float64) Action {
+// site s under seed. Both builds compile it so the off build's tests can
+// still assert schedule determinism. One uniform draw is carved into
+// [panic | err | delay | none] bands, in that order, so a plan with
+// ErrRate 0 draws the identical schedule the pre-ActErr harness did —
+// every seed baked into the existing stress suites replays unchanged.
+func decide(seed uint64, s Site, n uint64, panicRate, errRate, delayRate float64) Action {
 	u := unitFloat(splitmix64(splitmix64(seed^(uint64(s)+1)*0xA24BAED4963EE407) + n))
 	if u < panicRate {
 		return ActPanic
 	}
-	if u < panicRate+delayRate {
+	if u < panicRate+errRate {
+		return ActErr
+	}
+	if u < panicRate+errRate+delayRate {
 		return ActDelay
 	}
 	return ActNone

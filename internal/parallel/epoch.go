@@ -56,6 +56,32 @@ func (e *Epoch[T]) Publish(v *T) uint64 {
 	return ep
 }
 
+// PublishAt installs v at a caller-chosen epoch number, provided it moves
+// the cell forward; an epoch at or below the current one is clamped to
+// current+1, preserving the monotone +1-or-more contract (readers may
+// then observe a gap, never a repeat). It exists for restore paths: a
+// process resuming from a crash-safe checkpoint republishes the restored
+// value at the epoch numbering the pre-crash cell had reached (the
+// committed round maps to it), so Await(after) tokens that outlive the
+// restart — reader loops re-attached to a rebuilt cell — keep their
+// meaning instead of seeing the history restart at 1.
+func (e *Epoch[T]) PublishAt(v *T, epoch uint64) uint64 {
+	e.mu.Lock()
+	if old := e.cur.Load(); old != nil && epoch <= old.epoch {
+		epoch = old.epoch + 1
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
+	e.cur.Store(&epochEntry[T]{v: v, epoch: epoch})
+	if e.tick != nil {
+		close(e.tick)
+	}
+	e.tick = make(chan struct{})
+	e.mu.Unlock()
+	return epoch
+}
+
 // Current returns the most recently published value and its epoch, or
 // (nil, 0) if nothing has been published yet. Wait-free: one atomic load,
 // no allocation.
