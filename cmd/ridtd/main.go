@@ -8,7 +8,8 @@
 //
 //	ridtd [-n N] [-seed S] [-readers R] [-builds B] [-report D]
 //	      [-procs P] [-timeout D]
-//	      [-checkpoint DIR] [-checkpoint-every N] [-restore]
+//	      [-checkpoint DIR] [-checkpoint-every N] [-checkpoint-chain K]
+//	      [-restore] [-scrub] [-scrub-every D]
 //
 // Each build triangulates a fresh n-point instance to completion; with
 // -builds 0 the daemon rebuilds forever (a serving loop), until -timeout
@@ -20,11 +21,24 @@
 // With -checkpoint the daemon commits a crash-safe checkpoint of the
 // build every -checkpoint-every committed rounds, from the published
 // snapshot, on a background goroutine — the build never stalls for
-// durability. After a crash (or SIGKILL), -restore resumes the
-// interrupted build from the newest valid generation; by the engine's
-// determinism contract the resumed build finishes byte-identical to an
-// uninterrupted one, which the per-build "digest=" line makes checkable
-// across processes.
+// durability. Checkpoints are INCREMENTAL by default: up to
+// -checkpoint-chain delta generations (each holding only the log suffix
+// past the previous generation plus the mutable remainder) are committed
+// between full images; -checkpoint-chain 0 forces every generation to be
+// a full image. After a crash (or SIGKILL), -restore resumes the
+// interrupted build from the newest valid generation — resolving deltas
+// through their base chain and falling back past any broken link; by the
+// engine's determinism contract the resumed build finishes byte-identical
+// to an uninterrupted one, which the per-build "digest=" line makes
+// checkable across processes.
+//
+// -scrub-every D runs the self-healing scrubber in the background every
+// D: each pass re-reads every generation with a full decode+validate,
+// renames provably corrupt files to ckpt-<gen>.bad (quarantine, never
+// silent deletion), promotes the newest restorable state to a fresh full
+// image when the chain head was lost, and rewrites the advisory MANIFEST.
+// -scrub runs exactly one such pass and exits (the CI/cron shape);
+// outcomes are counted in the periodic report and the final summary.
 package main
 
 import (
@@ -76,7 +90,10 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	timeout := fs.Duration("timeout", 0, "cancel the run after this duration and exit 3 (0 = no deadline)")
 	ckptDir := fs.String("checkpoint", "", "directory for crash-safe build checkpoints (empty = disabled)")
 	ckptEvery := fs.Int("checkpoint-every", 16, "committed rounds between checkpoints")
+	ckptChain := fs.Int("checkpoint-chain", checkpoint.DefaultMaxChain, "max delta generations between full checkpoint images (0 = full images only)")
 	restore := fs.Bool("restore", false, "resume the interrupted build from the newest valid checkpoint in -checkpoint")
+	scrubOnce := fs.Bool("scrub", false, "run one scrub pass over -checkpoint (verify, quarantine, repair) and exit")
+	scrubEvery := fs.Duration("scrub-every", 0, "background scrub-pass interval (0 = no scrubbing)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -96,9 +113,41 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		fmt.Fprintln(errOut, "ridtd: -checkpoint-every must be at least 1")
 		return 2
 	}
+	if *ckptChain < 0 {
+		fmt.Fprintln(errOut, "ridtd: -checkpoint-chain must be non-negative")
+		return 2
+	}
 	if *restore && *ckptDir == "" {
 		fmt.Fprintln(errOut, "ridtd: -restore requires -checkpoint")
 		return 2
+	}
+	if (*scrubOnce || *scrubEvery > 0) && *ckptDir == "" {
+		fmt.Fprintln(errOut, "ridtd: -scrub and -scrub-every require -checkpoint")
+		return 2
+	}
+	if *scrubEvery < 0 {
+		fmt.Fprintln(errOut, "ridtd: -scrub-every must be non-negative")
+		return 2
+	}
+	if *scrubOnce {
+		// One-shot maintenance mode: scrub the directory and exit without
+		// serving. Exit 0 even when files were quarantined — the PASS
+		// succeeded; what it found is in the output for the caller.
+		w, err := checkpoint.NewWriter(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(errOut, "ridtd: %v\n", err)
+			return 2
+		}
+		res, err := w.Scrub()
+		if err != nil {
+			fmt.Fprintf(errOut, "ridtd: scrub: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, "ridtd: scrub %s\n", res)
+		if res.NewestOK {
+			fmt.Fprintf(out, "ridtd: scrub newest-restorable=%016x\n", res.Newest)
+		}
+		return 0
 	}
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
@@ -129,14 +178,20 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 	}()
 
 	var saver *ckptSaver
+	var scr *scrubber
 	if *ckptDir != "" {
 		w, err := checkpoint.NewWriter(*ckptDir)
 		if err != nil {
 			fmt.Fprintf(errOut, "ridtd: %v\n", err)
 			return 2
 		}
+		w.SetMaxChain(*ckptChain)
 		saver = newCkptSaver(w, errOut)
 		defer saver.close()
+		if *scrubEvery > 0 {
+			scr = startScrubber(w, *scrubEvery, out, errOut)
+			defer scr.close()
+		}
 	}
 	startBuild := 0
 	var resumed *delaunay.Live
@@ -176,7 +231,7 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 		if lv == nil {
 			lv = delaunay.NewLive(geom.Dedup(geom.UniformDisk(rng.New(bseed), *n)))
 		}
-		q, hit, faceQ, views, rounds, tris, done := serveBuild(out, lv, bseed, b, *readers, *report, *ckptEvery, saver, &canceler)
+		q, hit, faceQ, views, rounds, tris, done := serveBuild(out, lv, bseed, b, *readers, *report, *ckptEvery, saver, scr, &canceler)
 		totQ += q
 		totHit += hit
 		totFace += faceQ
@@ -191,6 +246,14 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 
 	fmt.Fprintf(out, "ridtd: builds=%d rounds=%d tris=%d queries=%d hits=%d faceqs=%d views=%d\n",
 		completed, totRounds, totTris, totQ, totHit, totFace, totViews)
+	if saver != nil {
+		fmt.Fprintf(out, "ridtd: ckpt saved=%d delta=%d dropped=%d failed=%d\n",
+			saver.saved.Load(), saver.savedDelta.Load(), saver.dropped.Load(), saver.failed.Load())
+	}
+	if scr != nil {
+		fmt.Fprintf(out, "ridtd: scrub passes=%d verified=%d skipped=%d quarantined=%d repaired=%d\n",
+			scr.passes.Load(), scr.verified.Load(), scr.skipped.Load(), scr.quarantined.Load(), scr.repaired.Load())
+	}
 	if canceler.Canceled() {
 		fmt.Fprintln(errOut, "ridtd: run canceled (deadline or interrupt); stats above are a prefix of the full run")
 		return 3
@@ -206,10 +269,13 @@ func run(args []string, out, errOut io.Writer, sigs <-chan os.Signal) int {
 // errors (including injected ones) and panics are contained here and
 // logged — durability is best-effort, the build is not.
 type ckptSaver struct {
-	ch      chan ckptReq
-	done    chan struct{}
-	errOut  io.Writer
-	dropped atomic.Int64
+	ch         chan ckptReq
+	done       chan struct{}
+	errOut     io.Writer
+	saved      atomic.Int64 // committed generations (full + delta)
+	savedDelta atomic.Int64 // of those, incremental ones
+	dropped    atomic.Int64 // captures skipped because the saver was busy
+	failed     atomic.Int64 // save attempts that errored or panicked
 }
 
 type ckptReq struct {
@@ -231,11 +297,19 @@ func newCkptSaver(w *checkpoint.Writer, errOut io.Writer) *ckptSaver {
 func (s *ckptSaver) save(w *checkpoint.Writer, req ckptReq) {
 	defer func() {
 		if r := recover(); r != nil {
+			s.failed.Add(1)
 			fmt.Fprintf(s.errOut, "ridtd: checkpoint save panicked: %v\n", r)
 		}
 	}()
-	if _, err := w.Save(req.st, req.meta); err != nil {
+	_, kind, err := w.SaveAuto(req.st, req.meta)
+	if err != nil {
+		s.failed.Add(1)
 		fmt.Fprintf(s.errOut, "ridtd: checkpoint save failed: %v\n", err)
+		return
+	}
+	s.saved.Add(1)
+	if kind == checkpoint.KindDelta {
+		s.savedDelta.Add(1)
 	}
 }
 
@@ -253,13 +327,77 @@ func (s *ckptSaver) close() {
 	<-s.done
 }
 
+// scrubber runs periodic self-healing passes over the checkpoint
+// directory on its own goroutine. It shares the Writer (and therefore
+// the writer's lock) with the saver, so a pass never races a commit; a
+// pass that errors or panics is logged and counted, never fatal — the
+// scrubber is maintenance, the build is the product.
+type scrubber struct {
+	w      *checkpoint.Writer
+	out    io.Writer
+	errOut io.Writer
+	stop   chan struct{}
+	done   chan struct{}
+
+	passes      atomic.Int64
+	verified    atomic.Int64
+	skipped     atomic.Int64
+	quarantined atomic.Int64
+	repaired    atomic.Int64
+}
+
+func startScrubber(w *checkpoint.Writer, every time.Duration, out, errOut io.Writer) *scrubber {
+	s := &scrubber{w: w, out: out, errOut: errOut, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tk := time.NewTicker(every)
+		defer tk.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tk.C:
+				s.runPass()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *scrubber) runPass() {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(s.errOut, "ridtd: scrub pass panicked: %v\n", r)
+		}
+	}()
+	s.passes.Add(1)
+	res, err := s.w.Scrub()
+	if err != nil {
+		fmt.Fprintf(s.errOut, "ridtd: scrub pass failed: %v\n", err)
+		return
+	}
+	s.verified.Add(int64(res.Verified))
+	s.skipped.Add(int64(res.Skipped))
+	s.quarantined.Add(int64(res.Quarantined))
+	s.repaired.Add(int64(res.Repaired))
+	// Quiet when healthy: a pass earns a log line only when it acted.
+	if res.Quarantined > 0 || res.Repaired > 0 {
+		fmt.Fprintf(s.out, "ridtd: scrub %s\n", res)
+	}
+}
+
+func (s *scrubber) close() {
+	close(s.stop)
+	<-s.done
+}
+
 // serveBuild triangulates one instance to completion while readers
 // hammer the published views, then reports per-build stats. done=false
 // means the build was cut short by cancellation. A non-nil saver gets a
 // state capture every ckptEvery committed rounds, taken at the quiesced
 // boundary between Step calls (the same point the epoch advances).
 func serveBuild(out io.Writer, lv *delaunay.Live, seed uint64, build, readers int, report time.Duration,
-	ckptEvery int, saver *ckptSaver, c *parallel.Canceler) (q, hit, faceQ, views, rounds, tris int64, done bool) {
+	ckptEvery int, saver *ckptSaver, scr *scrubber, c *parallel.Canceler) (q, hit, faceQ, views, rounds, tris int64, done bool) {
 	stats := make([]readerStats, readers)
 	var wg sync.WaitGroup
 	stop := &parallel.Canceler{} // readers drain on build completion OR external cancel
@@ -300,8 +438,15 @@ func serveBuild(out io.Writer, lv *delaunay.Live, seed uint64, build, readers in
 				rq += stats[i].queries.Load()
 				rh += stats[i].hits.Load()
 			}
-			fmt.Fprintf(out, "ridtd: build=%d round=%d tris=%d final=%d queries=%d hits=%d\n",
+			line := fmt.Sprintf("ridtd: build=%d round=%d tris=%d final=%d queries=%d hits=%d",
 				build, v.Round(), v.NumTriangles(), v.NumFinal(), rq, rh)
+			if saver != nil {
+				line += fmt.Sprintf(" saved=%d dropped=%d", saver.saved.Load(), saver.dropped.Load())
+			}
+			if scr != nil {
+				line += fmt.Sprintf(" scrubbed=%d", scr.verified.Load())
+			}
+			fmt.Fprintln(out, line)
 		default:
 		}
 		if !more {

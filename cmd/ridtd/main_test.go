@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"testing"
@@ -237,6 +239,10 @@ func TestRunRestoreFlagErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-restore"},
 		{"-checkpoint", "x", "-checkpoint-every", "0"},
+		{"-scrub"},
+		{"-scrub-every", "1s"},
+		{"-checkpoint", "x", "-scrub-every", "-1s"},
+		{"-checkpoint", "x", "-checkpoint-chain", "-1"},
 	} {
 		var out, errOut bytes.Buffer
 		if code := run(args, &out, &errOut, nil); code != 2 {
@@ -256,5 +262,136 @@ func TestRunRestoreEmptyDir(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "no checkpoint to restore") {
 		t.Fatalf("missing fresh-start notice:\n%s", out.String())
+	}
+}
+
+// ckptFiles lists the generation files (ckpt-*, quarantine excluded) in
+// a checkpoint directory, sorted by name — which, for the fixed-width
+// hex generation names, is oldest-first.
+func ckptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "ckpt-") && !strings.HasSuffix(e.Name(), ".bad") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	return files
+}
+
+// TestRunScrubOnce is the maintenance-mode contract end to end: a
+// checkpointed run leaves generations behind; one of them is corrupted;
+// `ridtd -scrub` must quarantine it (rename to .bad, never delete),
+// repair the chain, and exit 0; and a -restore run over the scrubbed
+// directory must still resume and reproduce the reference digest.
+func TestRunScrubOnce(t *testing.T) {
+	dir := t.TempDir()
+	var out1, err1 bytes.Buffer
+	code := run([]string{"-n", "3000", "-builds", "1", "-readers", "0", "-seed", "11", "-report", "0",
+		"-checkpoint", dir, "-checkpoint-every", "1"}, &out1, &err1, nil)
+	if code != 0 {
+		t.Fatalf("checkpointed run: code %d, stderr %s", code, err1.String())
+	}
+	if !strings.Contains(out1.String(), "ridtd: ckpt saved=") {
+		t.Fatalf("summary missing checkpoint counters:\n%s", out1.String())
+	}
+	ref := digestLines(t, out1.String())
+	if ref[0] == "" {
+		t.Fatalf("no digest line in checkpointed run:\n%s", out1.String())
+	}
+	files := ckptFiles(t, dir)
+	if len(files) == 0 {
+		t.Fatal("checkpointed run left no generations on disk")
+	}
+
+	// Corrupt the newest generation on disk.
+	p := filepath.Join(dir, files[len(files)-1])
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-checkpoint", dir, "-scrub"}, &out2, &err2, nil); code != 0 {
+		t.Fatalf("scrub run: code %d, stderr %s", code, err2.String())
+	}
+	s := out2.String()
+	var verified, skipped, quarantined, repaired int
+	idx := strings.Index(s, "ridtd: scrub verified=")
+	if idx < 0 {
+		t.Fatalf("scrub printed no result line:\n%s", s)
+	}
+	if n, _ := fmt.Sscanf(s[idx:], "ridtd: scrub verified=%d skipped=%d quarantined=%d repaired=%d",
+		&verified, &skipped, &quarantined, &repaired); n != 4 {
+		t.Fatalf("unparseable scrub result line:\n%s", s)
+	}
+	if quarantined < 1 {
+		t.Fatalf("scrub of a corrupted generation quarantined nothing:\n%s", s)
+	}
+	if !strings.Contains(s, "ridtd: scrub newest-restorable=") {
+		t.Fatalf("scrub reported no restorable generation:\n%s", s)
+	}
+	badSeen := false
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".bad") {
+			badSeen = true
+		}
+	}
+	if !badSeen {
+		t.Fatal("quarantine left no .bad file (corrupt evidence must be renamed, not deleted)")
+	}
+
+	// The scrubbed directory still restores, and the resumed build is
+	// byte-identical to the uninterrupted reference.
+	var out3, err3 bytes.Buffer
+	if code := run([]string{"-n", "3000", "-builds", "1", "-readers", "0", "-seed", "11", "-report", "0",
+		"-checkpoint", dir, "-restore"}, &out3, &err3, nil); code != 0 {
+		t.Fatalf("restore after scrub: code %d, stderr %s", code, err3.String())
+	}
+	if !strings.Contains(out3.String(), "ridtd: restored build=0") {
+		t.Fatalf("restore after scrub did not resume:\n%s", out3.String())
+	}
+	got := digestLines(t, out3.String())
+	if got[0] != ref[0] {
+		t.Fatalf("post-scrub resumed digest %s, reference %s", got[0], ref[0])
+	}
+}
+
+// TestRunScrubOnceEmptyDir: one-shot scrub of an empty directory is a
+// clean no-op pass.
+func TestRunScrubOnceEmptyDir(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-checkpoint", t.TempDir(), "-scrub"}, &out, &errOut, nil); code != 0 {
+		t.Fatalf("code %d, stderr %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ridtd: scrub verified=0 skipped=0 quarantined=0 repaired=0") {
+		t.Fatalf("empty-dir scrub output:\n%s", out.String())
+	}
+}
+
+// TestRunScrubEverySmoke runs the background scrubber alongside a real
+// checkpointed build and checks the pass counters reach the summary.
+func TestRunScrubEverySmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-n", "3000", "-builds", "1", "-readers", "0", "-seed", "13", "-report", "0",
+		"-checkpoint", t.TempDir(), "-checkpoint-every", "1", "-scrub-every", "1ms"}, &out, &errOut, nil)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ridtd: scrub passes=") {
+		t.Fatalf("summary missing scrub counters:\n%s", out.String())
 	}
 }

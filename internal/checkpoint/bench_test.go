@@ -28,6 +28,81 @@ func BenchmarkCheckpointWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointDeltaWrite prices one incremental save: the same
+// state cadence as BenchmarkCheckpointWrite's full image, but serialized
+// as a delta over the previous boundary. The writer's chain tip is reset
+// to the base before every iteration so each save is the SAME one-round
+// delta — this is the number that must sit well below the full-image
+// write for the incremental scheme to pay for itself.
+func BenchmarkCheckpointDeltaWrite(b *testing.B) {
+	st1, _ := midState(b, 77, 1<<13, 6)
+	st2, _ := midState(b, 77, 1<<13, 7)
+	dir := b.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta := Meta{Seed: 77, Build: 1}
+	if _, err := w.Save(st1, meta); err != nil {
+		b.Fatal(err)
+	}
+	w.mu.Lock()
+	tip := *w.tip // chain tip for st1's generation
+	w.mu.Unlock()
+	path, err := w.SaveDelta(st2, meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		b.SetBytes(fi.Size())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.mu.Lock()
+		tc := tip
+		w.tip = &tc
+		w.mu.Unlock()
+		if _, err := w.SaveDelta(st2, meta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointDeltaRestore prices restoring through a base-plus-
+// delta chain (full image + 3 deltas): read + decode + per-link chain
+// verification + ApplyDelta joins + final structural validation.
+func BenchmarkCheckpointDeltaRestore(b *testing.B) {
+	run := newLiveRun(b, 77, 1<<13)
+	run.step(b, 4)
+	dir := b.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta := Meta{Seed: 77, Build: 1}
+	if _, err := w.Save(run.lv.CaptureState(), meta); err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 3; i++ {
+		run.step(b, 1)
+		path, err := w.SaveDelta(run.lv.CaptureState(), meta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fi, err := os.Stat(path); err == nil {
+			total += fi.Size()
+		}
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Restore(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCheckpointRestore(b *testing.B) {
 	st, _ := midState(b, 77, 1<<13, 6)
 	dir := b.TempDir()

@@ -1,0 +1,324 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// liveRun is a build stepped under test control, for capturing states at
+// chosen boundaries of ONE run (midState builds a fresh run per call,
+// which can never yield a base and a later state of the same build).
+type liveRun struct {
+	lv  *delaunay.Live
+	ref *delaunay.Mesh
+}
+
+func newLiveRun(t testing.TB, seed uint64, n int) *liveRun {
+	t.Helper()
+	pts := geom.Dedup(geom.UniformSquare(rng.New(seed), n))
+	return &liveRun{lv: delaunay.NewLive(pts), ref: delaunay.ParTriangulate(pts)}
+}
+
+// step advances k committed rounds and reports whether the build can
+// still go further.
+func (r *liveRun) step(t testing.TB, k int) bool {
+	t.Helper()
+	for i := 0; i < k; i++ {
+		more, err := r.lv.Step(nil)
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if !more {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaEncodeDecodeRoundtrip: EncodeDelta/DecodeDelta is lossless and
+// canonical — field-exact roundtrip, byte-exact re-encode.
+func TestDeltaEncodeDecodeRoundtrip(t *testing.T) {
+	run := newLiveRun(t, 41, 600)
+	run.step(t, 2)
+	base := run.lv.CaptureState()
+	run.step(t, 2)
+	d, err := run.lv.CaptureDelta(base.Watermark())
+	if err != nil {
+		t.Fatalf("CaptureDelta: %v", err)
+	}
+	meta := Meta{Seed: 41, Build: 7}
+	ch := Chain{BaseGen: 3, CRCTris: crcTris(0, base.Tris), CRCFinal: crcFinal(0, base.Final)}
+	img := EncodeDelta(d, meta, ch)
+
+	got, gotMeta, gotCh, err := DecodeDelta(img)
+	if err != nil {
+		t.Fatalf("DecodeDelta: %v", err)
+	}
+	if gotMeta != meta || gotCh != ch {
+		t.Fatalf("binding roundtrip: meta %+v chain %+v", gotMeta, gotCh)
+	}
+	if got.Base != d.Base || got.Round != d.Round || got.Done != d.Done || got.N != d.N {
+		t.Fatalf("delta scalars roundtrip: %+v vs %+v", got, d)
+	}
+	if got.Stats != d.Stats || got.Pred != d.Pred {
+		t.Fatal("delta counters roundtrip mismatch")
+	}
+	if len(got.Tris) != len(d.Tris) || len(got.Final) != len(d.Final) ||
+		len(got.Faces) != len(d.Faces) || len(got.Cand) != len(d.Cand) {
+		t.Fatal("delta collection sizes roundtrip mismatch")
+	}
+	if reenc := EncodeDelta(got, gotMeta, gotCh); !bytes.Equal(reenc, img) {
+		t.Fatal("delta re-encode is not byte-identical")
+	}
+	// DecodeAny dispatches on the leading frame type.
+	any, err := DecodeAny(img)
+	if err != nil || any.Kind != KindDelta {
+		t.Fatalf("DecodeAny(delta): kind %v err %v", any.Kind, err)
+	}
+	if !bytes.Equal(EncodeAny(any), img) {
+		t.Fatal("EncodeAny(DecodeAny(delta)) is not byte-identical")
+	}
+	// The plain full-image decoder must refuse a delta, typed.
+	if _, _, err := Decode(img); !errors.Is(err, ErrFrameOrder) {
+		t.Fatalf("Decode(delta image) = %v, want ErrFrameOrder", err)
+	}
+}
+
+// TestDeltaChainRestoreEveryBoundary is the property test of the tentpole
+// claim: committing via SaveAuto (full image, then deltas chained on it)
+// at EVERY committed boundary, the directory must restore — through the
+// base⊕delta chain — to a state byte-identical (encoding and all) to the
+// full capture at that boundary, and the restored state must resume to
+// the byte-identical reference mesh.
+func TestDeltaChainRestoreEveryBoundary(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	run := newLiveRun(t, 43, 900)
+	meta := Meta{Seed: 43, Build: 2}
+	refDigest := DigestMesh(run.ref)
+
+	deltas := 0
+	for more := true; more; {
+		more = run.step(t, 1)
+		st := run.lv.CaptureState()
+		_, kind, err := w.SaveAuto(st, meta)
+		if err != nil {
+			t.Fatalf("SaveAuto at round %d: %v", st.Round, err)
+		}
+		if kind == KindDelta {
+			deltas++
+		}
+		got, gotMeta, err := Restore(dir)
+		if err != nil {
+			t.Fatalf("Restore at round %d: %v", st.Round, err)
+		}
+		if gotMeta != meta {
+			t.Fatalf("restored meta %+v at round %d", gotMeta, st.Round)
+		}
+		// Byte-identity: the chain-restored state and the direct capture
+		// must be indistinguishable even to the serializer.
+		if !bytes.Equal(Encode(got, gotMeta), Encode(st, meta)) {
+			t.Fatalf("round %d: chain restore differs from the full capture", st.Round)
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("SaveAuto never produced a delta; the chain path was not exercised")
+	}
+	got, _, err := Restore(dir)
+	if err != nil {
+		t.Fatalf("final Restore: %v", err)
+	}
+	if d := DigestMesh(finishFrom(t, got)); d != refDigest {
+		t.Fatalf("resumed digest %08x, reference %08x", d, refDigest)
+	}
+}
+
+// TestSaveAutoChainPolicy: the full/delta cadence follows the chain cap,
+// and SaveDelta without a tip reports ErrNoBase.
+func TestSaveAutoChainPolicy(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	w.SetMaxChain(2)
+	run := newLiveRun(t, 47, 700)
+	meta := Meta{Seed: 47}
+
+	if _, err := w.SaveDelta(run.lv.CaptureState(), meta); !errors.Is(err, ErrNoBase) {
+		t.Fatalf("SaveDelta without a tip = %v, want ErrNoBase", err)
+	}
+	var kinds []Kind
+	for i := 0; i < 6; i++ {
+		run.step(t, 1)
+		_, kind, err := w.SaveAuto(run.lv.CaptureState(), meta)
+		if err != nil {
+			t.Fatalf("SaveAuto %d: %v", i, err)
+		}
+		kinds = append(kinds, kind)
+	}
+	want := []Kind{KindFull, KindDelta, KindDelta, KindFull, KindDelta, KindDelta}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("save kinds %v, want %v", kinds, want)
+		}
+	}
+	// A different run's metadata cannot chain on the tip.
+	if _, err := w.SaveDelta(run.lv.CaptureState(), Meta{Seed: 48}); !errors.Is(err, ErrNoBase) {
+		t.Fatalf("SaveDelta with foreign meta = %v, want ErrNoBase", err)
+	}
+	// SetMaxChain(0) disables deltas outright.
+	w.SetMaxChain(0)
+	run.step(t, 1)
+	if _, kind, err := w.SaveAuto(run.lv.CaptureState(), meta); err != nil || kind != KindFull {
+		t.Fatalf("SaveAuto with chain disabled: kind %v err %v", kind, err)
+	}
+}
+
+// TestPruneKeepsChainBases is the regression test for chain-aware
+// pruning: with a long delta chain, the naive newest-keepGenerations
+// policy would delete the full base image the surviving deltas depend on,
+// silently destroying every restore point. The chain-aware prune must
+// keep the base alive as long as a retained delta needs it — and still
+// collect it once a later full image retires the chain.
+func TestPruneKeepsChainBases(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	run := newLiveRun(t, 53, 800)
+	meta := Meta{Seed: 53}
+	run.step(t, 1)
+	if _, err := w.Save(run.lv.CaptureState(), meta); err != nil { // gen 1: the full base
+		t.Fatalf("base Save: %v", err)
+	}
+	// 2*keepGenerations deltas: far more than the naive window.
+	for i := 0; i < 2*keepGenerations; i++ {
+		run.step(t, 1)
+		if _, err := w.SaveDelta(run.lv.CaptureState(), meta); err != nil {
+			t.Fatalf("SaveDelta %d: %v", i, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckptName(1))); err != nil {
+		t.Fatalf("prune deleted the base generation a live delta chain depends on: %v", err)
+	}
+	st, _, err := Restore(dir)
+	if err != nil {
+		t.Fatalf("Restore through the retained chain: %v", err)
+	}
+	if d := DigestMesh(finishFrom(t, st)); d != DigestMesh(run.ref) {
+		t.Fatalf("chain restore digest %08x, reference %08x", d, DigestMesh(run.ref))
+	}
+	// Retire the chain with full images; the old base must now be
+	// collectable — chain-aware pruning is not a leak.
+	for i := 0; i < keepGenerations; i++ {
+		run.step(t, 1)
+		if _, err := w.Save(run.lv.CaptureState(), meta); err != nil {
+			t.Fatalf("retiring Save %d: %v", i, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckptName(1))); !os.IsNotExist(err) {
+		t.Fatal("retired base generation was never pruned (chain-aware prune leaks)")
+	}
+}
+
+// TestRestoreFallsBackPastBrokenDelta: a corrupt delta must not orphan
+// its base — Restore skips the broken tip and lands on the newest link
+// that still resolves.
+func TestRestoreFallsBackPastBrokenDelta(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	run := newLiveRun(t, 59, 700)
+	meta := Meta{Seed: 59}
+	run.step(t, 1)
+	if _, err := w.Save(run.lv.CaptureState(), meta); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	run.step(t, 1)
+	mid := run.lv.CaptureState()
+	if _, err := w.SaveDelta(mid, meta); err != nil {
+		t.Fatalf("SaveDelta (gen 2): %v", err)
+	}
+	run.step(t, 1)
+	tipPath, err := w.SaveDelta(run.lv.CaptureState(), meta)
+	if err != nil {
+		t.Fatalf("SaveDelta (gen 3): %v", err)
+	}
+	// Corrupt the newest delta; the manifest still points at it.
+	data, err := os.ReadFile(tipPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff
+	if err := os.WriteFile(tipPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Restore(dir)
+	if err != nil {
+		t.Fatalf("Restore past broken delta: %v", err)
+	}
+	if got.Round != mid.Round || len(got.Tris) != len(mid.Tris) {
+		t.Fatalf("restored round %d (%d tris), want the intact delta below (round %d, %d tris)",
+			got.Round, len(got.Tris), mid.Round, len(mid.Tris))
+	}
+
+	// A delta whose BASE is gone must also fall back — here to nothing,
+	// so Restore reports the corruption rather than fabricating a state.
+	if err := os.Remove(filepath.Join(dir, ckptName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Restore(dir); err == nil || !errors.Is(err, ErrDeltaChain) {
+		t.Fatalf("Restore with missing base = %v, want ErrDeltaChain", err)
+	}
+}
+
+// TestRestoreRejectsForgedChain: a delta rebound to a base of the right
+// watermark but different content must fail the prefix-digest check.
+func TestRestoreRejectsForgedChain(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	run := newLiveRun(t, 61, 700)
+	meta := Meta{Seed: 61}
+	run.step(t, 1)
+	base := run.lv.CaptureState()
+	if _, err := w.Save(base, meta); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	run.step(t, 1)
+	d, err := run.lv.CaptureDelta(base.Watermark())
+	if err != nil {
+		t.Fatalf("CaptureDelta: %v", err)
+	}
+	// Encode the delta with a WRONG content digest for its base: the file
+	// is CRC-valid and structurally fine, but the chain must not join.
+	forged := EncodeDelta(d, meta, Chain{
+		BaseGen: 1, CRCTris: crcTris(0, base.Tris) ^ 1, CRCFinal: crcFinal(0, base.Final),
+	})
+	if err := os.WriteFile(filepath.Join(dir, ckptName(2)), forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Restore(dir)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got.Round != base.Round {
+		t.Fatalf("restore used a forged chain: landed at round %d, want the base's %d", got.Round, base.Round)
+	}
+}

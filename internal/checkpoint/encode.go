@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/delaunay"
+	"repro/internal/geom"
 )
 
 // Meta is the run identity carried alongside the build state: enough for
@@ -32,32 +33,103 @@ func frame(t byte, payload []byte) []byte {
 
 func crc32Of(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 
+// scalarHeader encodes the fields full and delta headers share: round,
+// done, n, meta, and the work counters (resumed runs must report the same
+// totals as uninterrupted ones — the equality suites compare Stats).
+func scalarHeader(buf []byte, round int32, done bool, n int, meta Meta, stats delaunay.Stats, pred geom.PredicateStats) []byte {
+	buf = le32(buf, uint32(round))
+	if done {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = le64(buf, uint64(n))
+	buf = le64(buf, meta.Seed)
+	buf = le64(buf, meta.Build)
+	buf = le64(buf, uint64(stats.InCircleTests))
+	buf = le64(buf, uint64(stats.TrianglesCreated))
+	buf = le64(buf, uint64(int64(stats.Rounds)))
+	buf = le64(buf, uint64(int64(stats.DepDepth)))
+	buf = le64(buf, uint64(pred.Orient2DCalls))
+	buf = le64(buf, uint64(pred.Orient2DExact))
+	buf = le64(buf, uint64(pred.InCircleCalls))
+	buf = le64(buf, uint64(pred.InCircleExact))
+	return buf
+}
+
+// appendLogFrames appends the frames full and delta files share — the
+// triangle log section (corners, encroacher lengths/values, depths, final
+// ids: the whole log for a full image, the suffix for a delta), the
+// mutable remainder (faces, candidates), and the footer echoing echo.
+func appendLogFrames(frames [][]byte, tris []delaunay.Tri, depth, final []int32,
+	faceRecs []delaunay.FaceRec, cand []uint64, echo uint64) [][]byte {
+	triv := make([]byte, 0, 8+12*len(tris))
+	triv = le64(triv, uint64(len(tris)))
+	for _, t := range tris {
+		triv = le32(triv, uint32(t.V[0]))
+		triv = le32(triv, uint32(t.V[1]))
+		triv = le32(triv, uint32(t.V[2]))
+	}
+	frames = append(frames, frame(fTriV, triv))
+
+	elen := make([]byte, 0, 8+4*len(tris))
+	elen = le64(elen, uint64(len(tris)))
+	totalE := 0
+	for _, t := range tris {
+		elen = le32(elen, uint32(len(t.E)))
+		totalE += len(t.E)
+	}
+	frames = append(frames, frame(fELen, elen))
+
+	eval := make([]byte, 0, 8+4*totalE)
+	eval = le64(eval, uint64(totalE))
+	for _, t := range tris {
+		for _, w := range t.E {
+			eval = le32(eval, uint32(w))
+		}
+	}
+	frames = append(frames, frame(fEVal, eval))
+
+	dep := make([]byte, 0, 8+4*len(depth))
+	dep = le64(dep, uint64(len(depth)))
+	for _, d := range depth {
+		dep = le32(dep, uint32(d))
+	}
+	frames = append(frames, frame(fDepth, dep))
+
+	fin := make([]byte, 0, 8+4*len(final))
+	fin = le64(fin, uint64(len(final)))
+	for _, id := range final {
+		fin = le32(fin, uint32(id))
+	}
+	frames = append(frames, frame(fFinal, fin))
+
+	faces := make([]byte, 0, 8+24*len(faceRecs))
+	faces = le64(faces, uint64(len(faceRecs)))
+	for _, f := range faceRecs {
+		faces = le64(faces, f.Key)
+		faces = le64(faces, f.W0)
+		faces = le64(faces, f.W1)
+	}
+	frames = append(frames, frame(fFaces, faces))
+
+	cd := make([]byte, 0, 8+8*len(cand))
+	cd = le64(cd, uint64(len(cand)))
+	for _, k := range cand {
+		cd = le64(cd, k)
+	}
+	frames = append(frames, frame(fCand, cd))
+
+	foot := le64(make([]byte, 0, 8), echo)
+	return append(frames, frame(fFooter, foot))
+}
+
 // encodeFrames serializes st+meta into the fixed frame sequence. Each
 // element of the result is one complete frame, so a writer can interleave
 // per-frame I/O (and per-frame fault injection) without re-parsing.
 func encodeFrames(st *delaunay.BuildState, meta Meta) [][]byte {
 	frames := make([][]byte, 0, numFrames)
-
-	hdr := make([]byte, 0, hdrLen)
-	hdr = le32(hdr, uint32(st.Round))
-	if st.Done {
-		hdr = append(hdr, 1)
-	} else {
-		hdr = append(hdr, 0)
-	}
-	hdr = le64(hdr, uint64(st.N))
-	hdr = le64(hdr, meta.Seed)
-	hdr = le64(hdr, meta.Build)
-	// Work counters ride in the header: resumed runs must report the same
-	// totals as uninterrupted ones (the equality suites compare Stats).
-	hdr = le64(hdr, uint64(st.Stats.InCircleTests))
-	hdr = le64(hdr, uint64(st.Stats.TrianglesCreated))
-	hdr = le64(hdr, uint64(int64(st.Stats.Rounds)))
-	hdr = le64(hdr, uint64(int64(st.Stats.DepDepth)))
-	hdr = le64(hdr, uint64(st.Pred.Orient2DCalls))
-	hdr = le64(hdr, uint64(st.Pred.Orient2DExact))
-	hdr = le64(hdr, uint64(st.Pred.InCircleCalls))
-	hdr = le64(hdr, uint64(st.Pred.InCircleExact))
+	hdr := scalarHeader(make([]byte, 0, hdrLen), st.Round, st.Done, st.N, meta, st.Stats, st.Pred)
 	frames = append(frames, frame(fHeader, hdr))
 
 	pts := make([]byte, 0, 8+16*len(st.Pts))
@@ -68,66 +140,62 @@ func encodeFrames(st *delaunay.BuildState, meta Meta) [][]byte {
 	}
 	frames = append(frames, frame(fPoints, pts))
 
-	triv := make([]byte, 0, 8+12*len(st.Tris))
-	triv = le64(triv, uint64(len(st.Tris)))
-	for _, t := range st.Tris {
-		triv = le32(triv, uint32(t.V[0]))
-		triv = le32(triv, uint32(t.V[1]))
-		triv = le32(triv, uint32(t.V[2]))
-	}
-	frames = append(frames, frame(fTriV, triv))
+	return appendLogFrames(frames, st.Tris, st.Depth, st.Final, st.Faces, st.Cand, uint64(len(st.Tris)))
+}
 
-	elen := make([]byte, 0, 8+4*len(st.Tris))
-	elen = le64(elen, uint64(len(st.Tris)))
-	totalE := 0
-	for _, t := range st.Tris {
-		elen = le32(elen, uint32(len(t.E)))
-		totalE += len(t.E)
-	}
-	frames = append(frames, frame(fELen, elen))
+// Chain binds a delta generation to its base: which generation it
+// extends, and CRC32C digests over the base's triangle-corner and
+// final-id streams. The digests tie the delta to the base's CONTENT —
+// a base of the right shape but the wrong build (or a tampered one)
+// fails the digest check at restore, which is what makes a chain of
+// CRC-valid files still refuse to join across runs.
+type Chain struct {
+	BaseGen  uint64
+	CRCTris  uint32
+	CRCFinal uint32
+}
 
-	eval := make([]byte, 0, 8+4*totalE)
-	eval = le64(eval, uint64(totalE))
-	for _, t := range st.Tris {
-		for _, w := range t.E {
-			eval = le32(eval, uint32(w))
-		}
+// crcTris extends a running CRC32C over a triangle-corner stream; called
+// with crc 0 and the whole log it digests a full prefix, called with the
+// tip's digest and a suffix it extends in O(suffix).
+func crcTris(crc uint32, tris []delaunay.Tri) uint32 {
+	var buf [12]byte
+	for _, t := range tris {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(t.V[0]))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(t.V[1]))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(t.V[2]))
+		crc = crc32.Update(crc, castagnoli, buf[:])
 	}
-	frames = append(frames, frame(fEVal, eval))
+	return crc
+}
 
-	depth := make([]byte, 0, 8+4*len(st.Depth))
-	depth = le64(depth, uint64(len(st.Depth)))
-	for _, d := range st.Depth {
-		depth = le32(depth, uint32(d))
+// crcFinal is crcTris for the final-id stream.
+func crcFinal(crc uint32, final []int32) uint32 {
+	var buf [4]byte
+	for _, id := range final {
+		binary.LittleEndian.PutUint32(buf[:], uint32(id))
+		crc = crc32.Update(crc, castagnoli, buf[:])
 	}
-	frames = append(frames, frame(fDepth, depth))
+	return crc
+}
 
-	fin := make([]byte, 0, 8+4*len(st.Final))
-	fin = le64(fin, uint64(len(st.Final)))
-	for _, id := range st.Final {
-		fin = le32(fin, uint32(id))
-	}
-	frames = append(frames, frame(fFinal, fin))
-
-	faces := make([]byte, 0, 8+24*len(st.Faces))
-	faces = le64(faces, uint64(len(st.Faces)))
-	for _, f := range st.Faces {
-		faces = le64(faces, f.Key)
-		faces = le64(faces, f.W0)
-		faces = le64(faces, f.W1)
-	}
-	frames = append(frames, frame(fFaces, faces))
-
-	cand := make([]byte, 0, 8+8*len(st.Cand))
-	cand = le64(cand, uint64(len(st.Cand)))
-	for _, k := range st.Cand {
-		cand = le64(cand, k)
-	}
-	frames = append(frames, frame(fCand, cand))
-
-	foot := le64(make([]byte, 0, 8), uint64(len(st.Tris)))
-	frames = append(frames, frame(fFooter, foot))
-	return frames
+// encodeDeltaFrames serializes an incremental generation: the delta
+// header (scalar header + chain binding), the log frames over the SUFFIX
+// only, the full mutable remainder, and a footer echoing the resulting
+// log length — so a delta costs O(suffix + faces + candidates) to encode
+// no matter how large the build below the watermark has grown.
+func encodeDeltaFrames(d *delaunay.BuildDelta, meta Meta, ch Chain) [][]byte {
+	frames := make([][]byte, 0, numDeltaFrames)
+	hdr := scalarHeader(make([]byte, 0, dhdrLen), d.Round, d.Done, d.N, meta, d.Stats, d.Pred)
+	hdr = le64(hdr, ch.BaseGen)
+	hdr = le32(hdr, uint32(d.Base.Round))
+	hdr = le64(hdr, uint64(d.Base.Tris))
+	hdr = le64(hdr, uint64(d.Base.Final))
+	hdr = le32(hdr, ch.CRCTris)
+	hdr = le32(hdr, ch.CRCFinal)
+	frames = append(frames, frame(fDeltaHeader, hdr))
+	return appendLogFrames(frames, d.Tris, d.Depth, d.Final, d.Faces, d.Cand,
+		uint64(d.Base.Tris)+uint64(len(d.Tris)))
 }
 
 // preamble returns the fixed file header.
@@ -149,4 +217,24 @@ func Encode(st *delaunay.BuildState, meta Meta) []byte {
 		out = append(out, fr...)
 	}
 	return out
+}
+
+// EncodeDelta serializes a delta image — the exact bytes SaveDelta would
+// commit. ch binds the delta to the base generation it extends.
+func EncodeDelta(d *delaunay.BuildDelta, meta Meta, ch Chain) []byte {
+	out := preamble()
+	for _, fr := range encodeDeltaFrames(d, meta, ch) {
+		out = append(out, fr...)
+	}
+	return out
+}
+
+// EncodeAny re-serializes a decoded image of either kind. It is the
+// canonical-form oracle: for every input DecodeAny accepts,
+// EncodeAny(DecodeAny(input)) must reproduce the input byte-for-byte.
+func EncodeAny(img *Image) []byte {
+	if img.Kind == KindDelta {
+		return EncodeDelta(img.Delta, img.Meta, img.Chain)
+	}
+	return Encode(img.State, img.Meta)
 }

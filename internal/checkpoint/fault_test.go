@@ -11,13 +11,15 @@ import (
 )
 
 // Hits per Save at each site, fixed by the commit protocol: one
-// CheckpointFrame per frame of the format, one CheckpointCommit per step
-// of the commit sequence (data fsync, data rename, dir sync, manifest
+// CheckpointFrame per frame of the full format (one DeltaFrame per frame
+// of the delta format for SaveDelta), one CheckpointCommit per step of
+// the commit sequence (data fsync, data rename, dir sync, manifest
 // fsync, manifest rename, dir sync). The counts are asserted before use
 // so a protocol change updates this table consciously.
 const (
-	frameHitsPerSave  = numFrames
-	commitHitsPerSave = 6
+	frameHitsPerSave      = numFrames
+	deltaFrameHitsPerSave = numDeltaFrames
+	commitHitsPerSave     = 6
 )
 
 // TestCheckpointFaultEveryHit forces a failure at EVERY distinct
@@ -31,11 +33,20 @@ func TestCheckpointFaultEveryHit(t *testing.T) {
 	st2, ref := midState(t, 31, 400, 4)
 	refDigest := DigestMesh(ref)
 
+	// st1 and st2 are boundaries of the SAME deterministic run (midState
+	// replays seed 31 from scratch), so st2 can be saved as a delta over
+	// the generation holding st1.
+	saveSecond := map[fault.Site]func(w *Writer) error{
+		fault.CheckpointFrame:  func(w *Writer) error { _, err := w.Save(st2, Meta{Build: 2}); return err },
+		fault.CheckpointCommit: func(w *Writer) error { _, err := w.Save(st2, Meta{Build: 2}); return err },
+		fault.DeltaFrame:       func(w *Writer) error { _, err := w.SaveDelta(st2, Meta{Build: 1}); return err },
+	}
 	for _, tc := range []struct {
 		site fault.Site
 		hits int
 	}{
 		{fault.CheckpointFrame, frameHitsPerSave},
+		{fault.DeltaFrame, deltaFrameHitsPerSave},
 		{fault.CheckpointCommit, commitHitsPerSave},
 	} {
 		// Assert the hit count before enumerating: a protocol change that
@@ -54,8 +65,12 @@ func TestCheckpointFaultEveryHit(t *testing.T) {
 			if _, err := w.Save(st1, Meta{Build: 1}); err != nil {
 				t.Fatalf("Save under zero-rate plan: %v", err)
 			}
-			if got := fault.Hits(tc.site); got != uint64(tc.hits) {
-				t.Fatalf("%v fires %d times per Save, table says %d — update the table and the enumeration",
+			pre := fault.Hits(tc.site)
+			if err := saveSecond[tc.site](w); err != nil {
+				t.Fatalf("second save under zero-rate plan: %v", err)
+			}
+			if got := fault.Hits(tc.site) - pre; got != uint64(tc.hits) {
+				t.Fatalf("%v fires %d times per save, table says %d — update the table and the enumeration",
 					tc.site, got, tc.hits)
 			}
 		}()
@@ -94,7 +109,7 @@ func TestCheckpointFaultEveryHit(t *testing.T) {
 								}
 							}
 						}()
-						_, saveErr = w.Save(st2, Meta{Build: 2})
+						saveErr = saveSecond[tc.site](w)
 					}()
 					fault.Disable()
 					switch mode {
@@ -141,6 +156,119 @@ func TestCheckpointFaultEveryHit(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// scrubHitsPerPass: ScrubVerify fires exactly once per generation file
+// walked, so a chainDir directory (one full image + two deltas) yields
+// three hits per pass.
+const scrubHitsPerPass = 3
+
+// TestScrubFaultEveryHit forces a failure at EVERY ScrubVerify hit of a
+// scrub pass over a healthy chain, in both failure modes. An injected
+// READ error must only skip the unverifiable file (and leave its
+// dependents unjudged) — never quarantine, never repair, never shadow
+// the tip with a bogus promotion. A crash mid-pass must leave the
+// directory fully restorable, and the next clean pass must verify
+// everything as if the fault never happened.
+func TestScrubFaultEveryHit(t *testing.T) {
+	// Assert the per-pass hit count under a zero-rate plan first, so a
+	// scrubber change that adds or removes an injection point fails
+	// loudly instead of silently narrowing the walk below.
+	func() {
+		if err := fault.Enable(fault.Config{Seed: 1, SiteMask: fault.MaskOf(fault.ScrubVerify)}); err != nil {
+			t.Fatalf("Enable: %v", err)
+		}
+		defer fault.Disable()
+		dir := t.TempDir()
+		w, _, _ := chainDir(t, dir)
+		pre := fault.Hits(fault.ScrubVerify)
+		if _, err := w.Scrub(); err != nil {
+			t.Fatalf("Scrub under zero-rate plan: %v", err)
+		}
+		if got := fault.Hits(fault.ScrubVerify) - pre; got != scrubHitsPerPass {
+			t.Fatalf("ScrubVerify fires %d times per pass, table says %d — update the table and the walk",
+				got, scrubHitsPerPass)
+		}
+	}()
+
+	for hit := 0; hit < scrubHitsPerPass; hit++ {
+		for _, mode := range []string{"err", "panic"} {
+			t.Run(fmt.Sprintf("hit%d/%s", hit, mode), func(t *testing.T) {
+				dir := t.TempDir()
+				w, run, _ := chainDir(t, dir)
+				refDigest := DigestMesh(run.ref)
+
+				cfg := fault.Config{Seed: 9, FirstHit: uint64(hit), SiteMask: fault.MaskOf(fault.ScrubVerify)}
+				if mode == "err" {
+					cfg.ErrRate, cfg.MaxErrs = 1, 1
+				} else {
+					cfg.PanicRate, cfg.MaxPanics = 1, 1
+				}
+				if err := fault.Enable(cfg); err != nil {
+					t.Fatalf("Enable: %v", err)
+				}
+				var res ScrubResult
+				var scrubErr error
+				panicked := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked = true
+							if _, ok := r.(fault.Injected); !ok {
+								panic(r)
+							}
+						}
+					}()
+					res, scrubErr = w.Scrub()
+				}()
+				fault.Disable()
+
+				switch mode {
+				case "err":
+					if scrubErr != nil {
+						t.Fatalf("Scrub aborted on a read failure: %v (must skip and continue)", scrubErr)
+					}
+					// The walk is oldest-first and an unjudged base leaves
+					// its dependents unjudged too, so a failure at hit k
+					// verifies exactly the k generations before it.
+					if res.Verified != hit || res.Skipped != scrubHitsPerPass-hit {
+						t.Fatalf("scrub under read failure at hit %d: %+v, want verified=%d skipped=%d",
+							hit, res, hit, scrubHitsPerPass-hit)
+					}
+					if res.Quarantined != 0 || res.Repaired != 0 {
+						t.Fatalf("an unverifiable file was treated as corrupt: %+v", res)
+					}
+				case "panic":
+					if !panicked {
+						t.Fatal("Scrub survived an injected panic")
+					}
+				}
+				if bad := badFiles(t, dir); len(bad) != 0 {
+					t.Fatalf("healthy generations quarantined after %s at hit %d: %v", mode, hit, bad)
+				}
+
+				// The durability claim: the scrubber dying (or misreading)
+				// at any step leaves the chain restorable to the reference.
+				got, _, err := Restore(dir)
+				if err != nil {
+					t.Fatalf("Restore after %s at hit %d: %v", mode, hit, err)
+				}
+				if d := DigestMesh(finishFrom(t, got)); d != refDigest {
+					t.Fatalf("resumed digest %08x, reference %08x", d, refDigest)
+				}
+
+				// The next clean pass settles every generation.
+				res2, err := w.Scrub()
+				if err != nil {
+					t.Fatalf("clean pass after fault: %v", err)
+				}
+				if res2.Verified != scrubHitsPerPass || res2.Skipped != 0 ||
+					res2.Quarantined != 0 || res2.Repaired != 0 {
+					t.Fatalf("clean pass after fault left work undone: %+v", res2)
+				}
+			})
 		}
 	}
 }

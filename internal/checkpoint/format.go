@@ -67,7 +67,17 @@ const (
 	fFaces                    // face-map epoch snapshot records
 	fCand                     // candidate face keys for the next round
 	fFooter                   // completion marker (echoes the triangle count)
-	numFrames = int(fFooter)
+	numFrames      = int(fFooter)
+
+	// fDeltaHeader opens a DELTA generation: an incremental checkpoint
+	// holding only the append-only suffix past a recorded base watermark
+	// plus the full mutable remainder. A delta file is the same preamble
+	// followed by fDeltaHeader, fTriV, fELen, fEVal, fDepth, fFinal,
+	// fFaces, fCand, fFooter — the log frames carry the SUFFIX, there is
+	// no points frame (the base has the points), and the footer echoes the
+	// RESULTING log length (base watermark + suffix) as a cross-check.
+	fDeltaHeader   byte = fFooter + 1
+	numDeltaFrames      = numFrames - 1 // no points frame
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -75,6 +85,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // hdrLen is the fixed header-frame payload size: round u32, done u8,
 // n u64, meta (2×u64), Stats (4×u64), PredicateStats (4×u64).
 const hdrLen = 4 + 1 + 8 + 2*8 + 4*8 + 4*8
+
+// dhdrLen is the fixed delta-header payload size: everything hdrLen
+// carries plus the chain-binding fields — base generation u64, base
+// watermark (round u32, tris u64, final u64), and the two prefix digests
+// (CRC32C over the base's triangle-corner stream and final-id stream)
+// that bind the delta to its base's CONTENT, not just its shape.
+const dhdrLen = hdrLen + 8 + (4 + 8 + 8) + 2*4
 
 // Typed decode errors. Every structurally invalid input maps to one of
 // these (possibly wrapped with position detail) — never a panic.
@@ -89,6 +106,17 @@ var (
 	// ErrNoCheckpoint is returned by Restore when the directory holds no
 	// checkpoint files at all — callers treat it as "start fresh".
 	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+
+	// ErrDeltaChain marks a delta that cannot be joined to its recorded
+	// base: the base generation is missing or invalid, or its watermark,
+	// prefix digests, or run metadata disagree with what the delta
+	// recorded. Restore treats it like any corruption — fall back.
+	ErrDeltaChain = errors.New("checkpoint: delta chain broken")
+
+	// ErrNoBase is returned by SaveDelta when the writer has no committed
+	// chain tip compatible with the state (fresh writer, different run, or
+	// a state behind the tip); callers fall back to a full Save.
+	ErrNoBase = errors.New("checkpoint: no compatible base generation for a delta")
 )
 
 func frameName(t byte) string {
@@ -113,6 +141,8 @@ func frameName(t byte) string {
 		return "candidates"
 	case fFooter:
 		return "footer"
+	case fDeltaHeader:
+		return "delta-header"
 	}
 	return fmt.Sprintf("frame-%d", t)
 }

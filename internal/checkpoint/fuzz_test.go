@@ -31,9 +31,32 @@ func FuzzCheckpointDecode(f *testing.F) {
 	f.Add([]byte(magic))
 	f.Add(preamble())
 
-	typed := []error{ErrBadMagic, ErrBadVersion, ErrTruncated, ErrFrameCRC, ErrFrameOrder, ErrFrameSize}
+	// Delta-format seeds: a valid base-plus-delta image, a truncation, a
+	// delta whose chain header names a base generation that will never
+	// exist (decodes fine — resolution is Restore's job), and a CRC-valid
+	// forgery whose recorded watermark disagrees with its own suffix
+	// (DecodeDelta must reject it as ErrDeltaChain, not crash on it).
+	run := newLiveRun(f, 3, 200)
+	run.step(f, 1)
+	base := run.lv.CaptureState()
+	run.step(f, 1)
+	d, err := run.lv.CaptureDelta(base.Watermark())
+	if err != nil {
+		f.Fatalf("CaptureDelta: %v", err)
+	}
+	meta := Meta{Seed: 3, Build: 1}
+	ch := Chain{BaseGen: 1, CRCTris: crcTris(0, base.Tris), CRCFinal: crcFinal(0, base.Final)}
+	dimg := EncodeDelta(d, meta, ch)
+	f.Add(dimg)
+	f.Add(dimg[:len(dimg)*2/3])
+	f.Add(EncodeDelta(d, meta, Chain{BaseGen: 999, CRCTris: ch.CRCTris, CRCFinal: ch.CRCFinal}))
+	forged := *d
+	forged.Base.Tris += len(forged.Tris) // every suffix final id now falls below the watermark
+	f.Add(EncodeDelta(&forged, meta, ch))
+
+	typed := []error{ErrBadMagic, ErrBadVersion, ErrTruncated, ErrFrameCRC, ErrFrameOrder, ErrFrameSize, ErrDeltaChain}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		st, meta, err := Decode(data)
+		img, err := DecodeAny(data)
 		if err != nil {
 			for _, want := range typed {
 				if errors.Is(err, want) {
@@ -42,7 +65,7 @@ func FuzzCheckpointDecode(f *testing.F) {
 			}
 			t.Fatalf("untyped decode error: %v", err)
 		}
-		if reenc := Encode(st, meta); !bytes.Equal(reenc, data) {
+		if reenc := EncodeAny(img); !bytes.Equal(reenc, data) {
 			t.Fatalf("non-canonical: %d input bytes decode but re-encode to %d different bytes",
 				len(data), len(reenc))
 		}

@@ -1,0 +1,195 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/delaunay"
+	"repro/internal/fault"
+)
+
+// ScrubResult summarizes one scrub pass over a checkpoint directory.
+type ScrubResult struct {
+	Verified    int // generations read, decoded, and validated clean
+	Skipped     int // generations left unjudged (read error: unverifiable, not provably corrupt)
+	Quarantined int // generations renamed to ckpt-<gen>.bad
+	Repaired    int // promotions of a resolvable state to a fresh full image
+	Newest      uint64
+	NewestOK    bool // a restorable generation survived the pass
+}
+
+func (r ScrubResult) String() string {
+	return fmt.Sprintf("verified=%d skipped=%d quarantined=%d repaired=%d", r.Verified, r.Skipped, r.Quarantined, r.Repaired)
+}
+
+// Scrub is the self-healing pass: re-read every committed generation with
+// a full decode + structural validation, quarantine what is provably
+// corrupt, and repair the chain so the directory restores without help.
+//
+// Per generation, oldest-first:
+//
+//   - The file is re-read and decoded in full (the ScrubVerify fault site
+//     fires first). A READ error — injected or real — only SKIPS the file
+//     this pass: an unreadable file is unverifiable, not provably corrupt,
+//     and quarantining it would destroy healthy durability.
+//   - A file whose BYTES were read but fail decode or validation is
+//     provably corrupt: it is renamed to ckpt-<gen>.bad (never silently
+//     deleted — the evidence stays on disk for the operator) and the
+//     directory is fsynced.
+//   - A delta whose recorded base is missing, quarantined, unverified, or
+//     bound to a different content digest is an orphan: equally unable to
+//     restore, equally quarantined.
+//
+// After the walk, if any tip was lost AND a resolvable state survives,
+// the newest such state is promoted to a fresh FULL generation (an
+// ordinary Save: same atomic-commit protocol, counted as a repair), so
+// later deltas chain from an intact base instead of a hole. Finally the
+// advisory MANIFEST is rewritten if it points at a generation that no
+// longer restores.
+//
+// Scrub shares the writer's lock with saves: a pass never races a commit.
+func (w *Writer) Scrub() (ScrubResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var res ScrubResult
+
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return res, fmt.Errorf("checkpoint: scrub scan: %w", err)
+	}
+	var gens []uint64
+	for _, ent := range ents {
+		if g, ok := parseGen(ent.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	if len(gens) == 0 {
+		return res, nil
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	newestOnDisk := gens[len(gens)-1]
+
+	// verdicts: what this pass established per generation. A generation
+	// missing from the map was skipped — unverifiable this pass, and
+	// therefore not usable as a base for judging its dependents either.
+	type verdict struct {
+		img *Image
+		st  *resolved // resolved state (full: itself; delta: joined to base)
+	}
+	verdicts := make(map[uint64]*verdict, len(gens))
+
+	// lost records generations this pass PROVED unrestorable (moved to
+	// quarantine). A skipped file is deliberately absent: unverifiable is
+	// not lost, and repairs keyed on it would shadow healthy state.
+	lost := make(map[uint64]bool)
+	quarantine := func(g uint64) {
+		// Rename, never delete: the corrupt bytes are evidence.
+		name := ckptName(g)
+		if err := os.Rename(filepath.Join(w.dir, name), filepath.Join(w.dir, name+badSuffix)); err == nil {
+			syncDir(w.dir)
+			res.Quarantined++
+			lost[g] = true
+		} else {
+			// Could not move it aside; leave it for the next pass.
+			res.Skipped++
+		}
+	}
+
+	// Oldest-first: a delta's base is judged before the delta, so one pass
+	// settles every chain without revisiting.
+	for _, g := range gens {
+		if err := fault.InjectErr(fault.ScrubVerify); err != nil {
+			res.Skipped++ // injected read failure: unverifiable, not corrupt
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(w.dir, ckptName(g)))
+		if err != nil {
+			res.Skipped++
+			continue
+		}
+		img, err := DecodeAny(data)
+		if err != nil {
+			quarantine(g)
+			continue
+		}
+		v := &verdict{img: img}
+		switch img.Kind {
+		case KindFull:
+			if err := img.State.Validate(); err != nil {
+				quarantine(g)
+				continue
+			}
+			v.st = &resolved{st: img.State, meta: img.Meta}
+		case KindDelta:
+			if img.Chain.BaseGen >= g {
+				quarantine(g)
+				continue
+			}
+			bv := verdicts[img.Chain.BaseGen]
+			if bv == nil {
+				// No verdict for the base this pass. If its file is simply
+				// gone (or already moved to quarantine) the delta is a
+				// proven orphan; if the file exists but was skipped as
+				// unverifiable, the delta stays unjudged too — skipping a
+				// base must not cascade into quarantining its children.
+				if _, statErr := os.Stat(filepath.Join(w.dir, ckptName(img.Chain.BaseGen))); statErr == nil {
+					res.Skipped++
+					continue
+				}
+				quarantine(g)
+				continue
+			}
+			base, bmeta := bv.st.st, bv.st.meta
+			if bmeta != img.Meta || base.Watermark() != img.Delta.Base ||
+				crcTris(0, base.Tris) != img.Chain.CRCTris || crcFinal(0, base.Final) != img.Chain.CRCFinal {
+				quarantine(g)
+				continue
+			}
+			st, err := delaunay.ApplyDelta(base, img.Delta)
+			if err == nil {
+				err = st.Validate()
+			}
+			if err != nil {
+				quarantine(g)
+				continue
+			}
+			v.st = &resolved{st: st, meta: img.Meta}
+		}
+		verdicts[g] = v
+		res.Verified++
+	}
+
+	// Find the newest generation that still restores.
+	var newestGood uint64
+	var newestState *resolved
+	for _, g := range gens {
+		if v := verdicts[g]; v != nil && v.st != nil {
+			if g >= newestGood {
+				newestGood, newestState = g, v.st
+			}
+		}
+	}
+	res.Newest, res.NewestOK = newestGood, newestState != nil
+
+	// Repair: if the newest generation on disk was PROVED lost this pass
+	// and an older state survives, promote that state to a fresh FULL
+	// image so the chain re-roots on an intact base. (A full image also
+	// resets the writer's tip, so subsequent deltas bind to the repaired
+	// root.) A merely-skipped tip never triggers promotion: writing a
+	// newer generation from an older state would shadow healthy progress.
+	if newestState != nil && lost[newestOnDisk] {
+		if _, err := w.saveFull(newestState.st, newestState.meta); err == nil {
+			res.Repaired++
+			res.Newest = w.gen - 1
+		}
+	} else if newestState != nil {
+		// Chain intact at the tip; still re-point the advisory manifest if
+		// it is missing or names a generation proved unrestorable.
+		if mg, ok := readManifest(w.dir); !ok || (mg != newestGood && lost[mg]) {
+			_ = w.writeManifest(newestGood)
+		}
+	}
+	return res, nil
+}

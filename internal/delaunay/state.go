@@ -97,6 +97,183 @@ func (lv *Live) CaptureState() *BuildState {
 	return st
 }
 
+// Watermark identifies a committed prefix of the append-only build log:
+// the round it was committed at and how far the triangle log and the
+// final-id list reached. Because committed storage is append-only and
+// immutable, a watermark taken at one boundary remains a valid prefix
+// description of every later boundary of the same build — which is what
+// lets an incremental checkpoint serialize only the suffix past it.
+type Watermark struct {
+	Round int32
+	Tris  int // committed triangle-log length
+	Final int // final-id count
+}
+
+// Watermark returns the committed-prefix watermark of a captured state.
+func (st *BuildState) Watermark() Watermark {
+	return Watermark{Round: st.Round, Tris: len(st.Tris), Final: len(st.Final)}
+}
+
+// BuildDelta is the increment between two committed boundaries of ONE
+// build: the append-only suffix past Base (triangle log, depths, final
+// ids — shared slices, immutable) plus the full mutable remainder (face
+// map, candidate list, counters — copies, like BuildState's). Applied to
+// a BuildState whose watermark equals Base, it reconstructs the exact
+// later state; it carries no points (the base has them) and no prefix.
+type BuildDelta struct {
+	Round int32
+	Done  bool
+	N     int       // input points, repeated for structural cross-checks
+	Base  Watermark // the committed prefix this delta extends
+	Tris  []Tri     // triangle-log suffix past Base.Tris
+	Depth []int32   // depth suffix, parallel to Tris
+	Final []int32   // final-id suffix; ids in [Base.Tris, Base.Tris+len(Tris))
+	Faces []FaceRec // full face-map snapshot at the later boundary
+	Cand  []uint64  // full candidate list for the next round
+	Stats Stats
+	Pred  geom.PredicateStats
+}
+
+// DeltaSince slices the increment between since and st out of a captured
+// state. Cost: O(1) shares for the append-only suffixes (they are
+// sub-slices of st's shared storage), zero copies — the faces and
+// candidates are re-shared from st, which already owns them. An encoder
+// walking the result touches O(suffix + faces + candidates) data instead
+// of the whole build, which is the point of an incremental checkpoint.
+func (st *BuildState) DeltaSince(since Watermark) (*BuildDelta, error) {
+	if since.Round < 0 || since.Tris < 1 || since.Final < 0 {
+		return nil, fmt.Errorf("delaunay: delta base watermark %+v malformed", since)
+	}
+	if since.Round > st.Round || since.Tris > len(st.Tris) || since.Final > len(st.Final) {
+		return nil, fmt.Errorf("delaunay: delta base watermark %+v ahead of state (round %d, %d tris, %d final)",
+			since, st.Round, len(st.Tris), len(st.Final))
+	}
+	d := &BuildDelta{
+		Round: st.Round,
+		Done:  st.Done,
+		N:     st.N,
+		Base:  since,
+		Tris:  st.Tris[since.Tris:len(st.Tris):len(st.Tris)],
+		Depth: st.Depth[since.Tris:len(st.Depth):len(st.Depth)],
+		Final: st.Final[since.Final:len(st.Final):len(st.Final)],
+		Faces: st.Faces,
+		Cand:  st.Cand,
+		Stats: st.Stats,
+		Pred:  st.Pred,
+	}
+	return d, d.Validate()
+}
+
+// CaptureDelta captures the live build as an increment over since — the
+// watermark of the last committed checkpoint generation. Same call-site
+// contract as CaptureState (publisher goroutine, between Steps); the cost
+// is the mutable remainder (faces + candidates) plus O(1) suffix shares,
+// independent of how much of the build lies below the watermark.
+func (lv *Live) CaptureDelta(since Watermark) (*BuildDelta, error) {
+	return lv.CaptureState().DeltaSince(since)
+}
+
+// Validate is the structural check for a delta in isolation (its base is
+// not at hand): every constraint that must hold for ANY base matching the
+// watermark. Cross-checks against a concrete base are ApplyDelta's job.
+func (d *BuildDelta) Validate() error {
+	if d.N < 0 || d.Round < 0 {
+		return fmt.Errorf("delaunay: delta has negative n (%d) or round (%d)", d.N, d.Round)
+	}
+	if d.Base.Round < 0 || d.Base.Tris < 1 || d.Base.Final < 0 {
+		return fmt.Errorf("delaunay: delta base watermark %+v malformed", d.Base)
+	}
+	if d.Round < d.Base.Round {
+		return fmt.Errorf("delaunay: delta round %d behind its base round %d", d.Round, d.Base.Round)
+	}
+	if len(d.Depth) != len(d.Tris) {
+		return fmt.Errorf("delaunay: %d depths for %d suffix triangles", len(d.Depth), len(d.Tris))
+	}
+	nt := d.Base.Tris + len(d.Tris)
+	npts := int32(d.N + 3)
+	for i, t := range d.Tris {
+		for _, v := range t.V {
+			if v < 0 || v >= npts {
+				return fmt.Errorf("delaunay: suffix triangle %d corner %d out of range [0,%d)", i, v, npts)
+			}
+		}
+		prev := int32(-1)
+		for _, w := range t.E {
+			if w <= prev || int(w) >= d.N {
+				return fmt.Errorf("delaunay: suffix triangle %d has non-ascending or out-of-range encroacher %d", i, w)
+			}
+			prev = w
+		}
+	}
+	// A triangle's final status is fixed at creation (E empty at creation,
+	// final forever — the monotone-final invariant), so every final id
+	// discovered after the base boundary names a SUFFIX triangle.
+	prev := int32(d.Base.Tris) - 1
+	for _, id := range d.Final {
+		if id <= prev || int(id) >= nt {
+			return fmt.Errorf("delaunay: delta final id %d non-ascending or outside the suffix [%d,%d)",
+				id, d.Base.Tris, nt)
+		}
+		prev = id
+	}
+	for _, f := range d.Faces {
+		a, b := faceEnds(f.Key)
+		if a < 0 || b < 0 || a >= npts || b >= npts || a > b {
+			return fmt.Errorf("delaunay: delta face key %#x has bad endpoints (%d, %d)", f.Key, a, b)
+		}
+		ent := decFace(f.W0, f.W1)
+		if ent.t0 < 0 || int(ent.t0) >= nt {
+			return fmt.Errorf("delaunay: delta face %#x references triangle %d out of range", f.Key, ent.t0)
+		}
+		if ent.t1 != NoTri && (ent.t1 < 0 || int(ent.t1) >= nt) {
+			return fmt.Errorf("delaunay: delta face %#x references triangle %d out of range", f.Key, ent.t1)
+		}
+	}
+	for _, k := range d.Cand {
+		a, b := faceEnds(k)
+		if a < 0 || b < 0 || a >= npts || b >= npts || a > b {
+			return fmt.Errorf("delaunay: delta candidate key %#x has bad endpoints (%d, %d)", k, a, b)
+		}
+	}
+	return nil
+}
+
+// ApplyDelta reconstructs the later boundary state from a base state and
+// the delta captured against it. The base must match the delta's recorded
+// watermark exactly; deeper identity (is this REALLY the same build, not
+// merely one of the same shape?) is the caller's to verify — the
+// checkpoint restorer binds chains with prefix digests and run metadata
+// before calling this. The result owns fresh concatenated log arrays and
+// shares Pts with the base; base and delta are not mutated.
+func ApplyDelta(base *BuildState, d *BuildDelta) (*BuildState, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if base.N != d.N {
+		return nil, fmt.Errorf("delaunay: delta for n=%d applied to base with n=%d", d.N, base.N)
+	}
+	if got := base.Watermark(); got != d.Base {
+		return nil, fmt.Errorf("delaunay: delta base watermark %+v does not match base state %+v", d.Base, got)
+	}
+	if base.Done && len(d.Tris) > 0 {
+		return nil, fmt.Errorf("delaunay: delta extends a completed base")
+	}
+	st := &BuildState{
+		Round: d.Round,
+		Done:  d.Done,
+		N:     base.N,
+		Pts:   base.Pts,
+		Tris:  append(base.Tris[:len(base.Tris):len(base.Tris)], d.Tris...),
+		Depth: append(base.Depth[:len(base.Depth):len(base.Depth)], d.Depth...),
+		Final: append(base.Final[:len(base.Final):len(base.Final)], d.Final...),
+		Faces: d.Faces,
+		Cand:  d.Cand,
+		Stats: d.Stats,
+		Pred:  d.Pred,
+	}
+	return st, nil
+}
+
 // validate rejects states that cannot have come from a committed round
 // boundary: every index must land in range before ResumeLive builds an
 // engine around the data. Deep semantic checks (is this face map really

@@ -1,6 +1,7 @@
 package delaunay
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/geom"
@@ -207,5 +208,110 @@ func TestResumeRejectsCorruptState(t *testing.T) {
 				t.Error("ResumeLive accepted a corrupt state")
 			}
 		})
+	}
+}
+
+// TestDeltaApplyEveryBoundary: for every pair of consecutive committed
+// boundaries, the delta captured against the earlier boundary's watermark,
+// applied to the earlier state, must reconstruct the later state exactly —
+// and the reconstruction must resume to the byte-identical reference mesh.
+// This is the delaunay-level half of the incremental-checkpoint claim; the
+// checkpoint package proves the on-disk half against the same invariant.
+func TestDeltaApplyEveryBoundary(t *testing.T) {
+	pts := geom.Dedup(geom.UniformSquare(rng.New(71), 700))
+	want := ParTriangulate(pts)
+
+	lv := NewLive(pts)
+	prev := lv.CaptureState()
+	for {
+		more, err := lv.Step(nil)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		cur := lv.CaptureState()
+		d, err := lv.CaptureDelta(prev.Watermark())
+		if err != nil {
+			t.Fatalf("CaptureDelta(round %d): %v", prev.Round, err)
+		}
+		if d.Base != prev.Watermark() {
+			t.Fatalf("delta base %+v, want %+v", d.Base, prev.Watermark())
+		}
+		got, err := ApplyDelta(prev, d)
+		if err != nil {
+			t.Fatalf("ApplyDelta(round %d -> %d): %v", prev.Round, cur.Round, err)
+		}
+		if !reflect.DeepEqual(got, cur) {
+			t.Fatalf("applied delta at round %d does not reconstruct the captured state", cur.Round)
+		}
+		re, err := ResumeLive(got)
+		if err != nil {
+			t.Fatalf("ResumeLive(applied, round %d): %v", cur.Round, err)
+		}
+		meshEqual(t, "resumed from applied delta", liveToEnd(t, re), want)
+		prev = cur
+		if !more {
+			break
+		}
+	}
+}
+
+// TestDeltaSpansMultipleRounds: a watermark is a valid delta base for ANY
+// later boundary (append-only storage), not just the next one.
+func TestDeltaSpansMultipleRounds(t *testing.T) {
+	pts := geom.Dedup(geom.UniformSquare(rng.New(73), 600))
+	lv := NewLive(pts)
+	base := lv.CaptureState()
+	for i := 0; i < 4; i++ {
+		if more, err := lv.Step(nil); err != nil || !more {
+			t.Fatalf("step %d: more=%v err=%v", i, more, err)
+		}
+	}
+	cur := lv.CaptureState()
+	d, err := lv.CaptureDelta(base.Watermark())
+	if err != nil {
+		t.Fatalf("CaptureDelta over 4 rounds: %v", err)
+	}
+	got, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta over 4 rounds: %v", err)
+	}
+	if !reflect.DeepEqual(got, cur) {
+		t.Fatal("multi-round delta does not reconstruct the captured state")
+	}
+}
+
+// TestDeltaRejectsMismatch: the watermark and cross-field checks that keep
+// a delta from being joined to the wrong base.
+func TestDeltaRejectsMismatch(t *testing.T) {
+	pts := geom.Dedup(geom.UniformSquare(rng.New(79), 500))
+	lv := NewLive(pts)
+	base := lv.CaptureState()
+	if more, err := lv.Step(nil); err != nil || !more {
+		t.Fatalf("step: more=%v err=%v", more, err)
+	}
+	cur := lv.CaptureState()
+	d, err := lv.CaptureDelta(base.Watermark())
+	if err != nil {
+		t.Fatalf("CaptureDelta: %v", err)
+	}
+
+	if _, err := cur.DeltaSince(Watermark{Round: cur.Round + 1, Tris: len(cur.Tris), Final: len(cur.Final)}); err == nil {
+		t.Error("DeltaSince accepted a watermark ahead of the state")
+	}
+	if _, err := cur.DeltaSince(Watermark{Round: 0, Tris: 0, Final: 0}); err == nil {
+		t.Error("DeltaSince accepted a zero-triangle watermark (no valid base has an empty log)")
+	}
+	if _, err := ApplyDelta(cur, d); err == nil {
+		t.Error("ApplyDelta accepted a base whose watermark does not match")
+	}
+	other := *base
+	other.N++
+	if _, err := ApplyDelta(&other, d); err == nil {
+		t.Error("ApplyDelta accepted a base with a different point count")
+	}
+	bad := *d
+	bad.Final = append([]int32(nil), int32(0)) // names a prefix triangle
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a suffix final id below the base watermark")
 	}
 }

@@ -88,6 +88,22 @@ const (
 	// commit step leaves either the previous generation or a fully valid
 	// new one — never a torn file under the committed name.
 	CheckpointCommit
+	// DeltaFrame fires before each frame write of a DELTA checkpoint save
+	// (internal/checkpoint.Writer.SaveDelta): the incremental-generation
+	// twin of CheckpointFrame, kept separate so the harnesses can walk the
+	// delta format's frame sequence independently of the full image's.
+	// Supports Delay, Panic, and Err with the same semantics as
+	// CheckpointFrame — the atomic-rename commit has not happened, so a
+	// death or error here costs the delta, never its base chain.
+	DeltaFrame
+	// ScrubVerify fires before the scrubber verifies each on-disk
+	// generation (internal/checkpoint.Writer.Scrub). Supports Delay,
+	// Panic, and Err: an injected error models a transient read failure —
+	// the scrubber must SKIP the file this pass (an unreadable file is
+	// unverifiable, not provably corrupt, so quarantining it would destroy
+	// healthy durability); a panic models the scrubber dying mid-pass,
+	// after which the directory must still restore to a committed prefix.
+	ScrubVerify
 
 	// NumSites is the number of catalogued sites (not itself a site).
 	NumSites
@@ -103,6 +119,8 @@ var siteNames = [NumSites]string{
 	EpochPublish:     "epoch-publish",
 	CheckpointFrame:  "checkpoint-frame",
 	CheckpointCommit: "checkpoint-commit",
+	DeltaFrame:       "delta-frame",
+	ScrubVerify:      "scrub-verify",
 }
 
 func (s Site) String() string {
@@ -118,7 +136,7 @@ func (s Site) String() string {
 func panicCapable(s Site) bool {
 	switch s {
 	case TableMigrate, DelaunayPhase, Type2SubRound, Type3Round, EpochPublish,
-		CheckpointFrame, CheckpointCommit:
+		CheckpointFrame, CheckpointCommit, DeltaFrame, ScrubVerify:
 		return true
 	}
 	return false
